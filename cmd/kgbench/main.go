@@ -1,0 +1,331 @@
+// Command kgbench regenerates the paper's evaluation artifacts from one
+// binary: the Section 2.1 statistics table, the Figure 6 / Figure 8
+// translation outputs, the company-control reasoning sweep (Examples
+// 4.1/4.2), the Algorithm 2 phase breakdown of Section 6, and the ablation
+// tables of DESIGN.md. See EXPERIMENTS.md for the experiment index.
+//
+// Usage:
+//
+//	kgbench -experiment stats   -scales 1000,10000,50000
+//	kgbench -experiment control -scales 1000,5000,20000
+//	kgbench -experiment phases  -scales 500,2000,8000
+//	kgbench -experiment figures
+//	kgbench -experiment ablation -scales 1000,5000
+//	kgbench -experiment closelinks -scales 500,2000
+//	kgbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/finance"
+	"repro/internal/fingraph"
+	"repro/internal/graphstats"
+	"repro/internal/instance"
+	"repro/internal/metalog"
+	"repro/internal/models"
+	"repro/internal/supermodel"
+	"repro/internal/vadalog"
+	"repro/internal/value"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "stats, control, phases, figures, ablation, closelinks, groups, or all")
+	scales := flag.String("scales", "1000,5000,20000", "comma-separated company counts")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	var ns []int
+	for _, s := range strings.Split(*scales, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		ns = append(ns, n)
+	}
+
+	run := map[string]func([]int, int64){
+		"stats":      runStats,
+		"control":    runControl,
+		"phases":     runPhases,
+		"figures":    func([]int, int64) { runFigures() },
+		"ablation":   runAblation,
+		"closelinks": runCloseLinks,
+		"groups":     runGroups,
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"stats", "control", "phases", "figures", "ablation", "closelinks", "groups"} {
+			fmt.Printf("==== %s ====\n", name)
+			run[name](ns, *seed)
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*experiment]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+	f(ns, *seed)
+}
+
+// runStats is experiment E1: the Section 2.1 statistics table across scales.
+func runStats(scales []int, seed int64) {
+	fmt.Println("E1 — Section 2.1 graph statistics (synthetic shareholding graph)")
+	fmt.Println("paper (11.97M nodes): 11.96M SCCs (avg 1, max 1.9k); >1.3M WCCs (avg 9, max >6M);")
+	fmt.Println("avg in-deg 3.12, out-deg 1.78; max in-deg 16.9k, out-deg 5.1k; clustering 0.0086")
+	for _, n := range scales {
+		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
+		g := topo.Shareholding()
+		start := time.Now()
+		s := graphstats.Compute(g)
+		fmt.Printf("\n-- companies=%d (computed in %v)\n%s", n, time.Since(start).Round(time.Millisecond), s.Table())
+	}
+}
+
+// runControl is experiment E10: the control sweep — MetaLog pipeline
+// (Example 4.1), plain Vadalog (Example 4.2) and the native baseline.
+func runControl(scales []int, seed int64) {
+	fmt.Println("E10 — company control (Examples 4.1/4.2): MetaLog pipeline vs Vadalog vs native")
+	fmt.Printf("%-10s %-8s %-8s %-14s %-14s %-14s %-8s\n",
+		"companies", "nodes", "edges", "metalog", "vadalog", "native", "pairs")
+	for _, n := range scales {
+		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
+		g := topo.Shareholding()
+		own := finance.BuildOwnership(topo)
+
+		// MetaLog end to end (translation + load + reason + flush).
+		mlStart := time.Now()
+		prog, err := metalog.Parse(finance.ControlEntityProgram())
+		if err != nil {
+			fatal(err)
+		}
+		mlRes, err := metalog.Reason(prog, g, vadalog.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		mlDur := time.Since(mlStart)
+		_ = mlRes
+
+		// Plain Vadalog over extracted relations (Example 4.2 layout).
+		db := vadalog.NewDatabase()
+		for _, e := range own.Entities {
+			db.MustAddFact("company", value.IntV(int64(e)))
+		}
+		for owner, stakes := range own.Out {
+			for _, st := range stakes {
+				db.MustAddFact("owns", value.IntV(int64(owner)), value.IntV(int64(st.Company)), value.FloatV(st.Pct))
+			}
+		}
+		vStart := time.Now()
+		vprog := vadalog.MustParse(finance.ControlVadalog())
+		if _, err := vadalog.RunInPlace(vprog, db, vadalog.Options{}); err != nil {
+			fatal(err)
+		}
+		vDur := time.Since(vStart)
+
+		nStart := time.Now()
+		pairs := finance.NativeControl(own, false)
+		nDur := time.Since(nStart)
+
+		fmt.Printf("%-10d %-8d %-8d %-14v %-14v %-14v %-8d\n",
+			n, g.NumNodes(), g.NumEdges(),
+			mlDur.Round(time.Microsecond), vDur.Round(time.Microsecond), nDur.Round(time.Microsecond), len(pairs))
+	}
+}
+
+// runPhases is experiment E14: the Algorithm 2 load / reason / flush
+// breakdown of Section 6 (the paper reports ~160 min reasoning vs ~15 min
+// loading+flushing on the production KG).
+func runPhases(scales []int, seed int64) {
+	fmt.Println("E14 — Algorithm 2 phase breakdown (Section 6): reasoning should dominate load+flush")
+	fmt.Printf("%-10s %-10s %-14s %-14s %-14s %-10s\n", "companies", "entities", "load", "reason", "flush", "reason/IO")
+	sigma := metalog.MustParse(`
+		(p: Person) [: HOLDS; right: "ownership", percentage: hp] (s: Share; percentage: sp)
+			[: BELONGS_TO] (y: Business),
+			q = hp * sp, w = sum(q)
+			-> (p) [o: OWNS; percentage: w] (y).
+		(x: Business) -> (x) [c: CONTROLS] (x).
+		(x: Business) [: CONTROLS] (z: Business) [: OWNS; percentage: w] (y: Business),
+			v = sum(w, <z>), v > 0.5
+			-> (x) [c: CONTROLS] (y).
+	`)
+	for _, n := range scales {
+		// Corporate pyramids (deep majority chains) are what make the
+		// production control component expensive; without them the derived
+		// relation is small and loading dominates.
+		cfg := fingraph.DefaultConfig(n, seed)
+		cfg.PyramidFraction = 0.4
+		cfg.PyramidDepth = 25
+		topo := fingraph.GenerateTopology(cfg)
+		data := topo.CompanyKG()
+		d, err := instance.NewDictionary(supermodel.CompanyKG())
+		if err != nil {
+			fatal(err)
+		}
+		res, err := instance.Materialize(d, instance.PGSource{Data: data}, sigma, 1, vadalog.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		io := res.LoadDuration + res.FlushDuration
+		ratio := float64(res.ReasonDuration) / float64(io)
+		fmt.Printf("%-10d %-10d %-14v %-14v %-14v %-10.2f\n",
+			n, len(res.Loaded.Entities),
+			res.LoadDuration.Round(time.Microsecond),
+			res.ReasonDuration.Round(time.Microsecond),
+			res.FlushDuration.Round(time.Microsecond), ratio)
+	}
+}
+
+// runFigures regenerates Figures 6 and 8 via SSST and prints summaries.
+func runFigures() {
+	fmt.Println("E6/E8 — SSST translations of the Figure 4 Company KG")
+	schema := supermodel.CompanyKG()
+
+	for _, target := range []string{"pg", "relational"} {
+		dict := supermodel.NewDictionary()
+		if err := supermodel.ToDictionary(schema, dict); err != nil {
+			fatal(err)
+		}
+		m, err := models.SelectMapping(schema.OID, schema.OID+1, schema.OID+2, target, "")
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, err := models.Translate(dict, m, vadalog.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		dur := time.Since(start)
+		switch target {
+		case "pg":
+			view, err := models.ReadPGSchema(res.Dict, m.TargetOID)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nFigure 6 (PG model, %s strategy, %v): %d node types, %d relationship types\n",
+				m.Strategy, dur.Round(time.Millisecond), len(view.Nodes), len(view.Rels))
+			for _, nv := range view.Nodes {
+				fmt.Printf("  (:%s) %d properties\n", strings.Join(nv.Labels, ":"), len(nv.Properties))
+			}
+		case "relational":
+			view, err := models.ReadRelationalSchema(res.Dict, m.TargetOID)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nFigure 8 (relational model, %s strategy, %v): %d relations\n",
+				m.Strategy, dur.Round(time.Millisecond), len(view.Relations))
+			for _, rv := range view.Relations {
+				fmt.Printf("  %s(%d fields, %d FKs)\n", rv.Name, len(rv.Fields), len(rv.ForeignKeys))
+			}
+		}
+	}
+}
+
+// runAblation covers A1-A3: monotonic vs naive evaluation for control, and
+// MetaLog vs native schema translation under both PG strategies.
+func runAblation(scales []int, seed int64) {
+	fmt.Println("A2 — semi-naive vs naive fixpoint (control program, Example 4.2 layout)")
+	fmt.Printf("%-10s %-14s %-14s %-8s\n", "companies", "semi-naive", "naive", "speedup")
+	for _, n := range scales {
+		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
+		own := finance.BuildOwnership(topo)
+		db := vadalog.NewDatabase()
+		for _, e := range own.Entities {
+			db.MustAddFact("company", value.IntV(int64(e)))
+		}
+		for owner, stakes := range own.Out {
+			for _, st := range stakes {
+				db.MustAddFact("owns", value.IntV(int64(owner)), value.IntV(int64(st.Company)), value.FloatV(st.Pct))
+			}
+		}
+		prog := vadalog.MustParse(finance.ControlVadalog())
+		t0 := time.Now()
+		if _, err := vadalog.Run(prog, db, vadalog.Options{}); err != nil {
+			fatal(err)
+		}
+		semi := time.Since(t0)
+		t1 := time.Now()
+		if _, err := vadalog.Run(prog, db, vadalog.Options{Naive: true}); err != nil {
+			fatal(err)
+		}
+		naive := time.Since(t1)
+		fmt.Printf("%-10d %-14v %-14v %-8.2fx\n", n,
+			semi.Round(time.Microsecond), naive.Round(time.Microsecond),
+			float64(naive)/float64(semi))
+	}
+
+	fmt.Println("\nA3 — SSST strategies and MetaLog vs native translation (Figure 4 schema)")
+	fmt.Printf("%-28s %-14s %-14s\n", "mapping", "metalog", "native")
+	schema := supermodel.CompanyKG()
+	for _, cfg := range []struct{ model, strategy string }{
+		{"pg", "multi-label"}, {"pg", "child-edges"}, {"relational", "table-per-class"},
+	} {
+		dict := supermodel.NewDictionary()
+		if err := supermodel.ToDictionary(schema, dict); err != nil {
+			fatal(err)
+		}
+		m, err := models.SelectMapping(schema.OID, schema.OID+1, schema.OID+2, cfg.model, cfg.strategy)
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := models.Translate(dict, m, vadalog.Options{}); err != nil {
+			fatal(err)
+		}
+		mlDur := time.Since(t0)
+		t1 := time.Now()
+		if cfg.model == "pg" {
+			if _, err := models.NativeToPG(schema, cfg.strategy); err != nil {
+				fatal(err)
+			}
+		} else {
+			models.NativeToRelational(schema)
+		}
+		natDur := time.Since(t1)
+		fmt.Printf("%-28s %-14v %-14v\n", cfg.model+"/"+cfg.strategy,
+			mlDur.Round(time.Microsecond), natDur.Round(time.Microsecond))
+	}
+}
+
+// runCloseLinks sweeps the close-links computation (integrated ownership).
+func runCloseLinks(scales []int, seed int64) {
+	fmt.Println("Close links over integrated ownership (ECB threshold 20%)")
+	fmt.Printf("%-10s %-10s %-14s %-8s\n", "companies", "entities", "time", "links")
+	for _, n := range scales {
+		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
+		own := finance.BuildOwnership(topo)
+		t0 := time.Now()
+		links := finance.CloseLinks(own, own.Entities, 0.2, 1e-9, 100)
+		dur := time.Since(t0)
+		fmt.Printf("%-10d %-10d %-14v %-8d\n", n, len(own.Entities), dur.Round(time.Microsecond), len(links))
+	}
+}
+
+// runGroups sweeps company-group derivation from the control relation.
+func runGroups(scales []int, seed int64) {
+	fmt.Println("Company groups (ultimate controllers over the control relation)")
+	fmt.Printf("%-10s %-8s %-8s %-10s\n", "companies", "pairs", "groups", "largest")
+	for _, n := range scales {
+		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
+		own := finance.BuildOwnership(topo)
+		pairs := finance.NativeControl(own, false)
+		groups := finance.Groups(pairs)
+		largest := 0
+		for _, g := range groups {
+			if len(g.Controlled) > largest {
+				largest = len(g.Controlled)
+			}
+		}
+		fmt.Printf("%-10d %-8d %-8d %-10d\n", n, len(pairs), len(groups), largest)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kgbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command kgquery evaluates MetaLog pattern queries against a property
+// graph — the UC2RPQ-style navigational querying the paper's language
+// desiderata call for (Section 1).
+//
+// Usage:
+//
+//	kgquery -in kg.json '(x: Business; businessName: n) [: CONTROLS] (y: Business; businessName: m), x != y'
+//	kgquery -in kg.json -limit 10 '(x: Business) ([: OWNS])+ (y: Business)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/metalog"
+	"repro/internal/pg"
+	"repro/internal/vadalog"
+)
+
+func main() {
+	in := flag.String("in", "", "property graph JSON")
+	limit := flag.Int("limit", 0, "maximum rows to print (0 = all)")
+	flag.Parse()
+	if *in == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "kgquery: usage: kgquery -in <graph.json> '<pattern>'")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := pg.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, err := metalog.Query(g, flag.Arg(0), vadalog.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "kgquery: no matches")
+		return
+	}
+	// Stable column order from the first row's keys union.
+	colSet := map[string]bool{}
+	for _, r := range rows {
+		for k := range r {
+			colSet[k] = true
+		}
+	}
+	cols := make([]string, 0, len(colSet))
+	for k := range colSet {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	fmt.Println(strings.Join(cols, "\t"))
+	for i, r := range rows {
+		if *limit > 0 && i >= *limit {
+			fmt.Fprintf(os.Stderr, "kgquery: ... %d more rows\n", len(rows)-i)
+			break
+		}
+		cells := make([]string, len(cols))
+		for ci, c := range cols {
+			if v, ok := r[c]; ok {
+				cells[ci] = v.String()
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "kgquery: %d rows\n", len(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kgquery:", err)
+	os.Exit(1)
+}

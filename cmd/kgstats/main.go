@@ -1,0 +1,44 @@
+// Command kgstats computes the Section 2.1 graph statistics for a property
+// graph: component structure, degree statistics, clustering coefficient and
+// the power-law fit.
+//
+// Usage:
+//
+//	kgstats -in graph.json
+//	kggen -companies 10000 | kgstats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graphstats"
+	"repro/internal/pg"
+)
+
+func main() {
+	in := flag.String("in", "", "property graph JSON (default: stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := pg.ReadJSON(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(graphstats.Compute(g).Table())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kgstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command vadalog runs Vadalog programs: the standalone face of the
+// reasoning engine the framework embeds. Programs declare their inputs with
+// @input("pred", "csv", "file.csv") annotations and mark results with
+// @output; results print to stdout or export as CSV.
+//
+// Usage:
+//
+//	vadalog -in control.vlog -data ./data
+//	vadalog -in control.vlog -data ./data -export ./out
+//	echo 'p(1). q(X) :- p(X). @output("q").' | vadalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/vadalog"
+)
+
+func main() {
+	in := flag.String("in", "", "Vadalog program (default: stdin)")
+	data := flag.String("data", ".", "base directory for @input csv paths")
+	export := flag.String("export", "", "export @output relations as CSV into this directory")
+	analyze := flag.Bool("analyze", false, "print static analysis before running")
+	maxFacts := flag.Int("max-facts", 0, "derived-fact safety valve (0 = unlimited)")
+	explain := flag.Bool("explain", false, "record provenance and print a proof tree for each @output fact (best with small results)")
+	explainDepth := flag.Int("explain-depth", 0, "proof tree depth cap (0 = unlimited)")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *in != "" {
+		src, err = os.ReadFile(*in)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vadalog.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *analyze {
+		an, err := vadalog.Analyze(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vadalog: %d rules, %d strata, warded=%v, piecewise-linear=%v\n",
+			len(prog.Rules), len(an.Strata), an.Warded, an.PiecewiseLinear)
+	}
+
+	res, outputs, err := vadalog.RunWithBindings(prog, vadalog.Bindings{BaseDir: *data},
+		vadalog.Options{MaxFacts: *maxFacts, Provenance: *explain})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vadalog: derived %d facts in %v (%d fixpoint rounds)\n",
+		res.Stats.FactsDerived, res.Stats.Duration, res.Stats.Rounds)
+
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := vadalog.ExportOutputs(prog, res.DB, *export); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, pred := range prog.Outputs() {
+		for _, f := range outputs[pred] {
+			if *explain {
+				proof, err := res.Explain(pred, f, *explainDepth)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Print(proof.String())
+				continue
+			}
+			fmt.Printf("%s%s\n", pred, f)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vadalog:", err)
+	os.Exit(1)
+}

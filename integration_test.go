@@ -1,0 +1,180 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/finance"
+	"repro/internal/fingraph"
+	"repro/internal/graphstats"
+	"repro/internal/gsl"
+	"repro/internal/instance"
+	"repro/internal/models"
+	"repro/internal/pg"
+	"repro/internal/supermodel"
+	"repro/internal/vadalog"
+	"repro/internal/value"
+)
+
+// TestFullLifecycle walks the complete KGModel methodology end to end, the
+// way the paper's data engineer would: design, deploy, generate, validate,
+// materialize, analyze, serialize, reload, re-validate.
+func TestFullLifecycle(t *testing.T) {
+	// 1. Design (Figure 4) and serialize the design through GSL.
+	schema := supermodel.CompanyKG()
+	text := gsl.Serialize(schema)
+	reparsed, err := gsl.Parse(text)
+	if err != nil {
+		t.Fatalf("GSL round trip: %v", err)
+	}
+	kg, err := core.NewKG(reparsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Deploy to every target family.
+	ddl, err := kg.DeploySQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	constraints, err := kg.DeployPGConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdfs := kg.DeployRDFS()
+	for name, artifact := range map[string]string{"ddl": ddl, "constraints": constraints, "rdfs": rdfs} {
+		if len(artifact) < 200 {
+			t.Errorf("%s artifact suspiciously small: %d bytes", name, len(artifact))
+		}
+	}
+
+	// 3. Generate a register extract and validate it against the deployed
+	// PG schema before loading.
+	topo := fingraph.GenerateTopology(fingraph.DefaultConfig(150, 99))
+	data := topo.CompanyKG()
+	view, err := models.NativeToPG(reparsed, "multi-label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := models.ValidateInstance(data, view); len(violations) != 0 {
+		t.Fatalf("generated instance must conform: %v", violations[:min(3, len(violations))])
+	}
+
+	// 4. Materialize the intensional components (Algorithm 2, staged).
+	for _, c := range []struct{ name, src string }{
+		{"ownership", finance.OwnershipProgram()},
+		{"control", finance.ControlProgram()},
+		{"family", finance.FamilyProgram()},
+	} {
+		if err := kg.AddIntensional(c.name, c.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := kg.Materialize(core.PGData(data), 10, vadalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities, edges, props := res.Totals()
+	if edges == 0 || props == 0 || entities == 0 {
+		t.Fatalf("materialization derived too little: %d/%d/%d", entities, edges, props)
+	}
+
+	// 5. The enriched instance still conforms to the schema (intensional
+	// constructs included — they are part of Figure 6).
+	if violations := models.ValidateInstance(data, view); len(violations) != 0 {
+		t.Errorf("enriched instance must still conform; first: %v", violations[0])
+	}
+
+	// 6. Analyze: the derived CONTROLS projection has the expected
+	// reflexive + derived structure.
+	controls := data.EdgesByLabel("CONTROLS")
+	if len(controls) <= 150 {
+		t.Errorf("CONTROLS edges = %d, want > 150 self-loops", len(controls))
+	}
+
+	// 7. Serialize the enriched KG and reload it losslessly.
+	var buf bytes.Buffer
+	if err := data.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := pg.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.NumNodes() != data.NumNodes() || reloaded.NumEdges() != data.NumEdges() {
+		t.Fatalf("serialization lost data: %d/%d vs %d/%d",
+			reloaded.NumNodes(), reloaded.NumEdges(), data.NumNodes(), data.NumEdges())
+	}
+	if violations := models.ValidateInstance(reloaded, view); len(violations) != 0 {
+		t.Errorf("reloaded instance must conform; first: %v", violations[0])
+	}
+
+	// 8. Statistics still have the §2.1 shape on the ground shareholding
+	// projection.
+	stats := graphstats.Compute(topo.Shareholding())
+	if stats.SCCAvgSize > 1.1 || stats.AvgClusteringCoefficient > 0.05 {
+		t.Errorf("statistics shape off: %+v", stats)
+	}
+
+	// 9. N-Triples export for the triplestore family.
+	nt := models.EmitNTriples(data, "urn:companykg")
+	if !strings.Contains(nt, "urn:companykg/rel/CONTROLS") {
+		t.Errorf("triplestore export misses derived edges")
+	}
+}
+
+// TestRelationalToPGCircle: relational rows in (through the core facade),
+// reasoning at super-model level, property graph out — the exported graph
+// validates against the translated PG schema.
+func TestRelationalToPGCircle(t *testing.T) {
+	kg, err := core.NewKG(supermodel.CompanyKG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.AddIntensional("control", finance.ControlProgram()); err != nil {
+		t.Fatal(err)
+	}
+	str, flt := value.Str, value.FloatV
+	tables := map[string][]instance.Row{}
+	for _, code := range []string{"A", "B", "C"} {
+		tables["Person"] = append(tables["Person"], instance.Row{"fiscalCode": str(code)})
+		tables["LegalPerson"] = append(tables["LegalPerson"], instance.Row{
+			"fiscalCode": str(code), "businessName": str("biz" + code), "legalNature": str("spa"),
+		})
+		tables["Business"] = append(tables["Business"], instance.Row{
+			"fiscalCode": str(code), "shareholdingCapital": flt(100),
+		})
+	}
+	tables["OWNS"] = []instance.Row{
+		{"fk_owns_src_fiscalCode": str("A"), "fk_owns_dst_fiscalCode": str("B"), "percentage": flt(0.9)},
+		{"fk_owns_src_fiscalCode": str("B"), "fk_owns_dst_fiscalCode": str("C"), "percentage": flt(0.8)},
+	}
+	res, err := kg.Materialize(core.RelationalData(tables), 1, vadalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	out := res.Steps[0].ExportPG()
+	// A controls B, B controls C, A controls C (transitively) + 3 self.
+	if n := len(out.EdgesByLabel("CONTROLS")); n != 6 {
+		t.Errorf("CONTROLS edges = %d, want 6", n)
+	}
+	view, err := models.NativeToPG(supermodel.CompanyKG(), "multi-label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := models.ValidateInstance(out, view); len(violations) != 0 {
+		t.Errorf("exported graph must conform; first: %v", violations[0])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+// Package core is the KGModel framework facade: the public API a data
+// engineer uses to follow the paper's methodology end to end.
+//
+//  1. Design the extensional component as a super-schema — programmatically
+//     with the supermodel builder or in the textual GSL dialect (Section 3).
+//  2. Attach the intensional components as MetaLog programs (Section 4).
+//  3. Deploy: SSST translates the super-schema into each target model and
+//     the emitters render the enforceable artifacts — SQL DDL, PG
+//     constraints, RDF-S (Section 5).
+//  4. Materialize: Algorithm 2 loads a data instance into the instance
+//     super-constructs, runs the intensional components through MTV and the
+//     Vadalog engine, and flushes the derived knowledge back (Section 6).
+//
+// A minimal session:
+//
+//	kg, _ := core.NewKG(supermodel.CompanyKG())
+//	kg.AddIntensional("control", finance.ControlProgram())
+//	ddl, _ := kg.DeploySQL()
+//	res, _ := kg.Materialize(core.PGData(data), 1, vadalog.Options{})
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gsl"
+	"repro/internal/instance"
+	"repro/internal/metalog"
+	"repro/internal/models"
+	"repro/internal/pg"
+	"repro/internal/supermodel"
+	"repro/internal/vadalog"
+)
+
+// KG is a designed Knowledge Graph: the super-schema of its extensional
+// component, the graph dictionary storing it, and the MetaLog programs of
+// its intensional component.
+type KG struct {
+	Schema *supermodel.Schema
+	Dict   *instance.Dictionary
+
+	intensional []namedProgram
+}
+
+type namedProgram struct {
+	name string
+	prog *metalog.Program
+}
+
+// NewKG validates the super-schema and stores it into a fresh graph
+// dictionary.
+func NewKG(schema *supermodel.Schema) (*KG, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	dict, err := instance.NewDictionary(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &KG{Schema: schema, Dict: dict}, nil
+}
+
+// ParseGSL builds a KG from a textual GSL design.
+func ParseGSL(src string) (*KG, error) {
+	schema, err := gsl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewKG(schema)
+}
+
+// AddIntensional registers a MetaLog program as part of the KG's
+// intensional component. Programs are applied in registration order by
+// Materialize, so later programs may read the labels earlier ones derive
+// (the stratification the paper's staging discussion assumes).
+//
+// Registration is model-aware (a §1 desideratum: the intensional language
+// "should refer to the schema constructs"): the program is compiled against
+// the designed schema's catalog, and any label or property the schema does
+// not declare is rejected — typos surface at design time, not at
+// materialization.
+func (kg *KG) AddIntensional(name, metalogSrc string) error {
+	prog, err := metalog.Parse(metalogSrc)
+	if err != nil {
+		return fmt.Errorf("core: intensional component %q: %w", name, err)
+	}
+	cat := instance.CatalogFromSchema(kg.Schema)
+	before := catalogSnapshot(cat)
+	if _, err := metalog.Translate(prog, cat); err != nil {
+		return fmt.Errorf("core: intensional component %q: %w", name, err)
+	}
+	if unknown := catalogDiff(before, cat); len(unknown) > 0 {
+		return fmt.Errorf("core: intensional component %q references constructs outside the schema: %s",
+			name, strings.Join(unknown, ", "))
+	}
+	kg.intensional = append(kg.intensional, namedProgram{name: name, prog: prog})
+	return nil
+}
+
+// catalogSnapshot captures the catalog's construct inventory as
+// "kind label.prop" keys.
+func catalogSnapshot(cat *metalog.Catalog) map[string]bool {
+	out := map[string]bool{}
+	for l, props := range cat.NodeProps {
+		out["node "+l] = true
+		for _, p := range props {
+			out["node "+l+"."+p] = true
+		}
+	}
+	for l, props := range cat.EdgeProps {
+		out["edge "+l] = true
+		for _, p := range props {
+			out["edge "+l+"."+p] = true
+		}
+	}
+	return out
+}
+
+// catalogDiff lists the constructs present after translation that the
+// schema-derived snapshot did not contain, sorted.
+func catalogDiff(before map[string]bool, cat *metalog.Catalog) []string {
+	var out []string
+	for k := range catalogSnapshot(cat) {
+		if !before[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntensionalComponents lists the registered program names in order.
+func (kg *KG) IntensionalComponents() []string {
+	out := make([]string, len(kg.intensional))
+	for i, np := range kg.intensional {
+		out[i] = np.name
+	}
+	return out
+}
+
+// GSL renders the design in the textual GSL dialect.
+func (kg *KG) GSL() string { return gsl.Serialize(kg.Schema) }
+
+// DOT renders the GSL diagram as Graphviz DOT, applying the Γ_SM graphemes.
+func (kg *KG) DOT() string { return gsl.RenderDOT(kg.Schema) }
+
+// Text renders a terminal-friendly GSL diagram.
+func (kg *KG) Text() string { return gsl.RenderText(kg.Schema) }
+
+// Translate runs SSST (Algorithm 1) against the given target model and
+// strategy, on a scratch copy of the dictionary, and returns the result.
+// OIDs for S⁻ and S′ are allocated above the schema OID.
+func (kg *KG) Translate(model, strategy string) (*models.TranslateResult, error) {
+	m, err := models.SelectMapping(kg.Schema.OID, kg.Schema.OID+1, kg.Schema.OID+2, model, strategy)
+	if err != nil {
+		return nil, err
+	}
+	dict := supermodel.NewDictionary()
+	if err := supermodel.ToDictionary(kg.Schema, dict); err != nil {
+		return nil, err
+	}
+	return models.Translate(dict, m, vadalog.Options{})
+}
+
+// DeploySQL translates to the relational model and renders the DDL.
+func (kg *KG) DeploySQL() (string, error) {
+	res, err := kg.Translate("relational", "")
+	if err != nil {
+		return "", err
+	}
+	view, err := models.ReadRelationalSchema(res.Dict, res.Mapping.TargetOID)
+	if err != nil {
+		return "", err
+	}
+	return models.EmitSQL(view), nil
+}
+
+// DeployPGConstraints translates to the property-graph model (multi-label
+// strategy) and renders the constraint statements.
+func (kg *KG) DeployPGConstraints() (string, error) {
+	res, err := kg.Translate("pg", "multi-label")
+	if err != nil {
+		return "", err
+	}
+	view, err := models.ReadPGSchema(res.Dict, res.Mapping.TargetOID)
+	if err != nil {
+		return "", err
+	}
+	return models.EmitPGConstraints(view), nil
+}
+
+// DeployRDFS renders the RDF-Schema document (the RDF-S model supports the
+// super-model natively, so no elimination is needed).
+func (kg *KG) DeployRDFS() string { return models.EmitRDFS(kg.Schema) }
+
+// DeployCSVLayout renders the CSV serialization layout.
+func (kg *KG) DeployCSVLayout() string { return models.EmitCSVLayout(kg.Schema) }
+
+// Data wraps a data instance of any supported model for Materialize.
+type Data = instance.Source
+
+// PGData wraps a property-graph data instance.
+func PGData(g *pg.Graph) Data { return instance.PGSource{Data: g} }
+
+// RelationalData wraps a relational data instance.
+func RelationalData(tables map[string][]instance.Row) Data {
+	return instance.RelationalSource{Inst: &instance.RelationalInstance{Tables: tables}}
+}
+
+// MaterializeResult is the outcome of materializing all registered
+// intensional components over one data instance.
+type MaterializeResult struct {
+	// Steps holds one Algorithm 2 result per registered program, in order.
+	Steps []*instance.Result
+}
+
+// Totals sums the derived knowledge across steps.
+func (r *MaterializeResult) Totals() (entities, edges, props int) {
+	for _, s := range r.Steps {
+		entities += len(s.Derived.NewEntities)
+		edges += len(s.Derived.NewEdges)
+		props += s.Derived.UpdatedProps
+	}
+	return
+}
+
+// Materialize runs Algorithm 2 once per registered intensional component,
+// in registration order, against the same data instance. For PG sources the
+// derived components are applied back to the data graph after each step, so
+// subsequent programs see the previously derived knowledge — the batch
+// accumulation strategy of Section 6.
+func (kg *KG) Materialize(src Data, instanceOID int64, opts vadalog.Options) (*MaterializeResult, error) {
+	out := &MaterializeResult{}
+	pgSrc, isPG := src.(instance.PGSource)
+	for i, np := range kg.intensional {
+		// Each step gets a fresh dictionary so instance constructs do not
+		// accumulate across steps (the staging-area flush of Section 6).
+		dict, err := instance.NewDictionary(kg.Schema)
+		if err != nil {
+			return nil, err
+		}
+		res, err := instance.Materialize(dict, src, np.prog, instanceOID+int64(i), opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: materializing %q: %w", np.name, err)
+		}
+		out.Steps = append(out.Steps, res)
+		if isPG {
+			if _, err := res.ApplyToPG(pgSrc.Data); err != nil {
+				return nil, fmt.Errorf("core: applying %q: %w", np.name, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Models lists the target models of the mapping repository, sorted.
+func Models() []string {
+	ms := models.Models()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	sort.Strings(out)
+	return out
+}

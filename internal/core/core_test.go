@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/finance"
+	"repro/internal/fingraph"
+	"repro/internal/supermodel"
+	"repro/internal/vadalog"
+)
+
+func TestNewKGValidates(t *testing.T) {
+	bad := supermodel.NewSchema("bad", 1)
+	bad.MustAddNode("NoID", false, supermodel.Attr("x", supermodel.String))
+	if _, err := NewKG(bad); err == nil {
+		t.Fatal("invalid schema must be rejected")
+	}
+	if _, err := NewKG(supermodel.CompanyKG()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseGSLFacade(t *testing.T) {
+	kg, err := ParseGSL(`schema mini oid 9 {
+		node Company { code: string @id }
+		intensional edge CONTROLS (Company 0..N -> 0..N Company)
+		edge OWNS (Company 0..N -> 0..N Company) { percentage: float }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(kg.GSL(), "intensional edge CONTROLS") {
+		t.Errorf("GSL round trip lost constructs:\n%s", kg.GSL())
+	}
+	if !strings.Contains(kg.DOT(), "digraph") {
+		t.Error("DOT rendering broken")
+	}
+}
+
+func TestAddIntensionalValidatesEagerly(t *testing.T) {
+	kg, err := NewKG(supermodel.CompanyKG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.AddIntensional("broken", `(x: Business -> (x).`); err == nil {
+		t.Error("syntax errors must surface at registration")
+	}
+	if err := kg.AddIntensional("recursive-star", `
+		(x: Business) ([: CONTROLS])+ (y: Business) -> (x) [c: CONTROLS] (y).
+	`); err == nil {
+		t.Error("decidability violations must surface at registration")
+	}
+	if err := kg.AddIntensional("control", finance.ControlProgram()); err != nil {
+		t.Fatal(err)
+	}
+	if got := kg.IntensionalComponents(); len(got) != 1 || got[0] != "control" {
+		t.Errorf("components = %v", got)
+	}
+}
+
+func TestDeployArtifacts(t *testing.T) {
+	kg, err := NewKG(supermodel.CompanyKG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl, err := kg.DeploySQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ddl, `CREATE TABLE "Business"`) {
+		t.Errorf("DDL missing Business table")
+	}
+	constraints, err := kg.DeployPGConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(constraints, "fiscalCode IS UNIQUE") {
+		t.Errorf("constraints missing uniqueness")
+	}
+	if !strings.Contains(kg.DeployRDFS(), "rdfs:subClassOf") {
+		t.Error("RDF-S missing subclass links")
+	}
+	if !strings.Contains(kg.DeployCSVLayout(), "business.csv") {
+		t.Error("CSV layout missing")
+	}
+}
+
+// TestEndToEndPipeline is the full paper workflow: design, register the
+// intensional components, deploy, then materialize over a synthetic data
+// instance — ownership compaction first, then control over the derived OWNS
+// edges.
+func TestEndToEndPipeline(t *testing.T) {
+	kg, err := NewKG(supermodel.CompanyKG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.AddIntensional("ownership", finance.OwnershipProgram()); err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.AddIntensional("control", finance.ControlProgram()); err != nil {
+		t.Fatal(err)
+	}
+
+	topo := fingraph.GenerateTopology(fingraph.DefaultConfig(60, 11))
+	data := topo.CompanyKG()
+	res, err := kg.Materialize(PGData(data), 1000, vadalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	_, edges, props := res.Totals()
+	if edges == 0 {
+		t.Error("no intensional edges derived")
+	}
+	if props == 0 {
+		t.Error("numberOfStakeholders never set")
+	}
+	if len(data.EdgesByLabel("OWNS")) == 0 {
+		t.Error("OWNS not materialized into the data graph")
+	}
+	// Control must exceed the trivial self-loops (60 businesses).
+	if n := len(data.EdgesByLabel("CONTROLS")); n <= 60 {
+		t.Errorf("CONTROLS edges = %d, want more than the self-loops", n)
+	}
+}
+
+func TestModelsList(t *testing.T) {
+	got := Models()
+	want := map[string]bool{"csv": true, "pg": true, "rdfs": true, "relational": true}
+	if len(got) != len(want) {
+		t.Fatalf("models = %v", got)
+	}
+	for _, m := range got {
+		if !want[m] {
+			t.Errorf("unexpected model %q", m)
+		}
+	}
+}
+
+func TestAddIntensionalModelAwareness(t *testing.T) {
+	kg, err := NewKG(supermodel.CompanyKG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Typo'd label.
+	if err := kg.AddIntensional("typo-label", `(x: Bussiness) -> (x) [c: CONTROLS] (x).`); err == nil {
+		t.Error("unknown label must be rejected")
+	} else if !strings.Contains(err.Error(), "Bussiness") {
+		t.Errorf("error should name the construct: %v", err)
+	}
+	// Typo'd property.
+	if err := kg.AddIntensional("typo-prop", `(x: Business; sharholdingCapital: c) -> (x) [o: OWNS; percentage: c] (x).`); err == nil {
+		t.Error("unknown property must be rejected")
+	}
+	// Correct constructs pass.
+	if err := kg.AddIntensional("ok", `(x: Business; shareholdingCapital: c) -> (x) [o: OWNS; percentage: c] (x).`); err != nil {
+		t.Errorf("schema-conformant program rejected: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package fingraph
+
+import (
+	"testing"
+
+	"repro/internal/graphstats"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateTopology(DefaultConfig(500, 42))
+	b := GenerateTopology(DefaultConfig(500, 42))
+	if a.Persons != b.Persons || len(a.Stakes) != len(b.Stakes) {
+		t.Fatalf("same seed must generate the same topology")
+	}
+	for i := range a.Stakes {
+		if a.Stakes[i] != b.Stakes[i] {
+			t.Fatalf("stake %d differs across runs", i)
+		}
+	}
+	c := GenerateTopology(DefaultConfig(500, 43))
+	if len(a.Stakes) == len(c.Stakes) {
+		same := true
+		for i := range a.Stakes {
+			if a.Stakes[i] != c.Stakes[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds should differ")
+		}
+	}
+}
+
+func TestNoSelfOwnership(t *testing.T) {
+	topo := GenerateTopology(DefaultConfig(1000, 7))
+	for _, s := range topo.Stakes {
+		if s.Holder.IsCompany && s.Holder.Index == s.Company {
+			t.Fatalf("self-ownership stake generated: %+v", s)
+		}
+	}
+}
+
+func TestStakePercentagesSane(t *testing.T) {
+	topo := GenerateTopology(DefaultConfig(1000, 7))
+	total := map[int]float64{}
+	for _, s := range topo.Stakes {
+		if s.Pct <= 0 || s.Pct > 1 {
+			t.Fatalf("stake pct out of range: %+v", s)
+		}
+		total[s.Company] += s.Pct
+	}
+	over := 0
+	for _, v := range total {
+		if v > 1.30001 { // cross-holdings and cycle rings add on top of the split
+			over++
+		}
+	}
+	if float64(over) > 0.02*float64(len(total)) {
+		t.Errorf("too many companies with summed ownership > 130%%: %d of %d", over, len(total))
+	}
+}
+
+// TestSection21StatisticsShape is experiment E1: the synthetic shareholding
+// graph reproduces the qualitative shape of the Section 2.1 statistics of
+// the Bank of Italy graph:
+//
+//   - edges/nodes ratio near 1.2 (14.18M edges / 11.97M nodes);
+//   - almost all SCCs trivial (11.96M SCCs for 11.97M nodes), with a small
+//     number of larger components from cross-shareholding;
+//   - many weakly connected components with a single giant one holding a
+//     large fraction of the graph (largest WCC > 6M of 11.97M);
+//   - heavy-tailed degrees: the maximum in-degree far exceeds the average
+//     (16.9k vs 3.12 in the paper);
+//   - near-zero average clustering coefficient (0.0086);
+//   - a power-law in-degree fit with a plausible exponent.
+func TestSection21StatisticsShape(t *testing.T) {
+	topo := GenerateTopology(DefaultConfig(8000, 42))
+	g := topo.Shareholding()
+	s := graphstats.Compute(g)
+
+	ratio := float64(s.Edges) / float64(s.Nodes)
+	if ratio < 0.7 || ratio > 2.0 {
+		t.Errorf("edges/nodes = %.2f, want near 1.2", ratio)
+	}
+	if s.SCCAvgSize > 1.05 {
+		t.Errorf("avg SCC size = %.3f, want ~1 (trivial SCCs)", s.SCCAvgSize)
+	}
+	if s.SCCMaxSize < 3 {
+		t.Errorf("largest SCC = %d, want a non-trivial cross-holding component", s.SCCMaxSize)
+	}
+	if s.SCCMaxSize > s.Nodes/10 {
+		t.Errorf("largest SCC = %d is too large (%d nodes total)", s.SCCMaxSize, s.Nodes)
+	}
+	if s.WCCCount < s.Nodes/100 {
+		t.Errorf("WCC count = %d, want many small components", s.WCCCount)
+	}
+	giant := float64(s.WCCMaxSize) / float64(s.Nodes)
+	if giant < 0.2 || giant > 0.9 {
+		t.Errorf("giant WCC fraction = %.2f, want a dominant component like the paper's 6M/11.97M", giant)
+	}
+	if float64(s.MaxInDegree) < 8*s.AvgInDegreeActive {
+		t.Errorf("max in-degree %d vs avg %.2f: tail not heavy enough", s.MaxInDegree, s.AvgInDegreeActive)
+	}
+	if float64(s.MaxOutDegree) < 8*s.AvgOutDegreeActive {
+		t.Errorf("max out-degree %d vs avg %.2f: tail not heavy enough", s.MaxOutDegree, s.AvgOutDegreeActive)
+	}
+	if s.AvgClusteringCoefficient > 0.05 {
+		t.Errorf("clustering coefficient = %.4f, want near zero like the paper's 0.0086", s.AvgClusteringCoefficient)
+	}
+	if s.PowerLawAlpha < 1.5 || s.PowerLawAlpha > 4.5 {
+		t.Errorf("power-law alpha = %.2f, implausible for a scale-free network", s.PowerLawAlpha)
+	}
+}
+
+func TestCompanyKGConformsToSchema(t *testing.T) {
+	topo := GenerateTopology(DefaultConfig(100, 5))
+	g := topo.CompanyKG()
+	if len(g.NodesByLabel("Business")) != 100 {
+		t.Errorf("businesses = %d", len(g.NodesByLabel("Business")))
+	}
+	if len(g.NodesByLabel("Share")) != len(topo.Stakes) {
+		t.Errorf("shares = %d, stakes = %d", len(g.NodesByLabel("Share")), len(topo.Stakes))
+	}
+	if len(g.EdgesByLabel("HOLDS")) != len(topo.Stakes) {
+		t.Errorf("HOLDS edges = %d", len(g.EdgesByLabel("HOLDS")))
+	}
+	if len(g.EdgesByLabel("BELONGS_TO")) != len(topo.Stakes) {
+		t.Errorf("BELONGS_TO edges = %d", len(g.EdgesByLabel("BELONGS_TO")))
+	}
+	// Multi-label conformance (Figure 6): businesses carry ancestor labels.
+	for _, n := range g.NodesByLabel("Business") {
+		if !n.HasLabel("LegalPerson") || !n.HasLabel("Person") {
+			t.Fatalf("business %d misses ancestor labels: %v", n.ID, n.Labels)
+		}
+	}
+	// Every share belongs to exactly one business.
+	for _, s := range g.NodesByLabel("Share") {
+		bt := 0
+		for _, e := range g.Out(s.ID) {
+			if e.Label == "BELONGS_TO" {
+				bt++
+			}
+		}
+		if bt != 1 {
+			t.Fatalf("share %d has %d BELONGS_TO edges", s.ID, bt)
+		}
+	}
+}
+
+func TestShareholdingAggregatesStakes(t *testing.T) {
+	topo := &Topology{Companies: 2}
+	topo.Stakes = []Stake{
+		{Holder: Holder{IsCompany: true, Index: 0}, Company: 1, Pct: 0.3},
+		{Holder: Holder{IsCompany: true, Index: 0}, Company: 1, Pct: 0.4},
+	}
+	g := topo.Shareholding()
+	owns := g.EdgesByLabel("OWNS")
+	if len(owns) != 1 {
+		t.Fatalf("OWNS edges = %d, want 1 aggregated", len(owns))
+	}
+	if got := owns[0].Props["percentage"].F; got < 0.699 || got > 0.701 {
+		t.Errorf("aggregated pct = %v", got)
+	}
+}

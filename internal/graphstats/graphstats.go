@@ -1,0 +1,366 @@
+// Package graphstats computes the topological statistics that Section 2.1 of
+// the paper reports for the Bank of Italy shareholding graph: strongly and
+// weakly connected components, degree statistics, the average clustering
+// coefficient, and a power-law fit of the degree distribution (the paper
+// observes a scale-free structure, as common in financial networks).
+package graphstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/pg"
+)
+
+// Stats mirrors the figures of Section 2.1.
+type Stats struct {
+	Nodes int
+	Edges int
+
+	SCCCount   int
+	SCCAvgSize float64
+	SCCMaxSize int
+
+	WCCCount   int
+	WCCAvgSize float64
+	WCCMaxSize int
+
+	// Degree averages over all nodes (edges/nodes) and over nodes with
+	// non-zero degree of the respective direction. The paper's in/out
+	// averages (3.12 / 1.78) are computed over active nodes, which is why
+	// they differ from edges/nodes.
+	AvgInDegreeAll     float64
+	AvgOutDegreeAll    float64
+	AvgInDegreeActive  float64
+	AvgOutDegreeActive float64
+	MaxInDegree        int
+	MaxOutDegree       int
+
+	AvgClusteringCoefficient float64
+
+	// PowerLawAlpha is the maximum-likelihood exponent of a discrete
+	// power-law fitted to the in-degree distribution (degrees >= XMin).
+	PowerLawAlpha float64
+	PowerLawXMin  int
+}
+
+// Compute derives all statistics for the graph. The clustering coefficient is
+// computed on the undirected simple projection of the graph; for graphs with
+// more than maxClusteringNodes nodes it is estimated on a deterministic
+// sample of nodes, which is standard practice at the scale of Section 2.1.
+func Compute(g *pg.Graph) Stats {
+	const maxClusteringNodes = 200_000
+
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	if s.Nodes == 0 {
+		return s
+	}
+
+	sccs := SCC(g)
+	s.SCCCount = len(sccs)
+	for _, c := range sccs {
+		if len(c) > s.SCCMaxSize {
+			s.SCCMaxSize = len(c)
+		}
+	}
+	s.SCCAvgSize = float64(s.Nodes) / float64(max(1, s.SCCCount))
+
+	wccs := WCC(g)
+	s.WCCCount = len(wccs)
+	for _, c := range wccs {
+		if len(c) > s.WCCMaxSize {
+			s.WCCMaxSize = len(c)
+		}
+	}
+	s.WCCAvgSize = float64(s.Nodes) / float64(max(1, s.WCCCount))
+
+	var inSum, outSum, inActive, outActive int
+	var indegrees []int
+	for _, n := range g.Nodes() {
+		in, out := g.InDegree(n.ID), g.OutDegree(n.ID)
+		inSum += in
+		outSum += out
+		if in > 0 {
+			inActive++
+		}
+		if out > 0 {
+			outActive++
+		}
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		indegrees = append(indegrees, in)
+	}
+	s.AvgInDegreeAll = float64(inSum) / float64(s.Nodes)
+	s.AvgOutDegreeAll = float64(outSum) / float64(s.Nodes)
+	if inActive > 0 {
+		s.AvgInDegreeActive = float64(inSum) / float64(inActive)
+	}
+	if outActive > 0 {
+		s.AvgOutDegreeActive = float64(outSum) / float64(outActive)
+	}
+
+	s.AvgClusteringCoefficient = AvgClustering(g, maxClusteringNodes)
+	s.PowerLawAlpha, s.PowerLawXMin = PowerLawMLE(indegrees)
+	return s
+}
+
+// SCC returns the strongly connected components of the graph using an
+// iterative Tarjan algorithm (the recursion is unrolled so that graphs with
+// millions of nodes do not overflow the stack). Components are returned with
+// their member node OIDs sorted, and components sorted by first member.
+func SCC(g *pg.Graph) [][]pg.OID {
+	nodes := g.Nodes()
+	index := make(map[pg.OID]int, len(nodes))
+	low := make(map[pg.OID]int, len(nodes))
+	onStack := make(map[pg.OID]bool, len(nodes))
+	var stack []pg.OID
+	var comps [][]pg.OID
+	counter := 0
+
+	type frame struct {
+		v     pg.OID
+		edges []*pg.Edge
+		next  int
+	}
+
+	for _, root := range nodes {
+		if _, seen := index[root.ID]; seen {
+			continue
+		}
+		frames := []frame{{v: root.ID, edges: g.Out(root.ID)}}
+		index[root.ID] = counter
+		low[root.ID] = counter
+		counter++
+		stack = append(stack, root.ID)
+		onStack[root.ID] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.next < len(f.edges) {
+				w := f.edges[f.next].To
+				f.next++
+				if _, seen := index[w]; !seen {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, edges: g.Out(w)})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All successors done: pop the frame.
+			if low[f.v] == index[f.v] {
+				var comp []pg.OID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				comps = append(comps, comp)
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// WCC returns the weakly connected components via union-find.
+func WCC(g *pg.Graph) [][]pg.OID {
+	parent := map[pg.OID]pg.OID{}
+	var find func(x pg.OID) pg.OID
+	find = func(x pg.OID) pg.OID {
+		r := x
+		for parent[r] != r {
+			r = parent[r]
+		}
+		for parent[x] != r {
+			parent[x], x = r, parent[x]
+		}
+		return r
+	}
+	for _, n := range g.Nodes() {
+		parent[n.ID] = n.ID
+	}
+	for _, e := range g.Edges() {
+		a, b := find(e.From), find(e.To)
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	groups := map[pg.OID][]pg.OID{}
+	for _, n := range g.Nodes() {
+		r := find(n.ID)
+		groups[r] = append(groups[r], n.ID)
+	}
+	comps := make([][]pg.OID, 0, len(groups))
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// AvgClustering computes the average local clustering coefficient of the
+// undirected simple projection of g. If the graph has more than sampleCap
+// nodes the coefficient is averaged over the first sampleCap nodes in OID
+// order (deterministic sampling).
+func AvgClustering(g *pg.Graph, sampleCap int) float64 {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	// Undirected neighbor sets, excluding self-loops.
+	neigh := make(map[pg.OID]map[pg.OID]bool, len(nodes))
+	add := func(a, b pg.OID) {
+		if a == b {
+			return
+		}
+		m := neigh[a]
+		if m == nil {
+			m = map[pg.OID]bool{}
+			neigh[a] = m
+		}
+		m[b] = true
+	}
+	for _, e := range g.Edges() {
+		add(e.From, e.To)
+		add(e.To, e.From)
+	}
+	sample := nodes
+	if sampleCap > 0 && len(nodes) > sampleCap {
+		sample = nodes[:sampleCap]
+	}
+	var total float64
+	for _, n := range sample {
+		ns := neigh[n.ID]
+		k := len(ns)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for a := range ns {
+			na := neigh[a]
+			for b := range ns {
+				if a < b && na[b] {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / (float64(k) * float64(k-1))
+	}
+	return total / float64(len(sample))
+}
+
+// PowerLawMLE fits a discrete power law p(k) ∝ k^-α to the degree sample via
+// the Clauset-Shalizi-Newman continuous approximation
+// α = 1 + n / Σ ln(k_i / (xmin - 0.5)) over degrees k_i ≥ xmin. The xmin is
+// fixed at 1 unless fewer than 10 samples qualify, in which case (0,0) is
+// returned.
+func PowerLawMLE(degrees []int) (alpha float64, xmin int) {
+	xmin = 1
+	var n int
+	var sum float64
+	for _, k := range degrees {
+		if k >= xmin {
+			n++
+			sum += math.Log(float64(k) / (float64(xmin) - 0.5))
+		}
+	}
+	if n < 10 || sum == 0 {
+		return 0, 0
+	}
+	return 1 + float64(n)/sum, xmin
+}
+
+// DegreeHistogram returns the distribution of the given degree sample as a
+// map degree → count.
+func DegreeHistogram(degrees []int) map[int]int {
+	h := map[int]int{}
+	for _, d := range degrees {
+		h[d]++
+	}
+	return h
+}
+
+// InDegrees returns the in-degree of every node, in OID order.
+func InDegrees(g *pg.Graph) []int {
+	nodes := g.Nodes()
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = g.InDegree(n.ID)
+	}
+	return out
+}
+
+// OutDegrees returns the out-degree of every node, in OID order.
+func OutDegrees(g *pg.Graph) []int {
+	nodes := g.Nodes()
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = g.OutDegree(n.ID)
+	}
+	return out
+}
+
+// Table renders the statistics in the layout of Section 2.1, for kgstats and
+// kgbench output.
+func (s Stats) Table() string {
+	var b strings.Builder
+	row := func(name, val string) { fmt.Fprintf(&b, "%-34s %s\n", name, val) }
+	row("nodes", fmt.Sprintf("%d", s.Nodes))
+	row("edges", fmt.Sprintf("%d", s.Edges))
+	row("strongly connected components", fmt.Sprintf("%d", s.SCCCount))
+	row("  avg SCC size", fmt.Sprintf("%.2f", s.SCCAvgSize))
+	row("  largest SCC", fmt.Sprintf("%d", s.SCCMaxSize))
+	row("weakly connected components", fmt.Sprintf("%d", s.WCCCount))
+	row("  avg WCC size", fmt.Sprintf("%.2f", s.WCCAvgSize))
+	row("  largest WCC", fmt.Sprintf("%d", s.WCCMaxSize))
+	row("avg in-degree (active nodes)", fmt.Sprintf("%.2f", s.AvgInDegreeActive))
+	row("avg out-degree (active nodes)", fmt.Sprintf("%.2f", s.AvgOutDegreeActive))
+	row("avg degree (edges/nodes)", fmt.Sprintf("%.2f", s.AvgInDegreeAll))
+	row("max in-degree", fmt.Sprintf("%d", s.MaxInDegree))
+	row("max out-degree", fmt.Sprintf("%d", s.MaxOutDegree))
+	row("avg clustering coefficient", fmt.Sprintf("%.4f", s.AvgClusteringCoefficient))
+	row("power-law alpha (in-degree)", fmt.Sprintf("%.2f (xmin=%d)", s.PowerLawAlpha, s.PowerLawXMin))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

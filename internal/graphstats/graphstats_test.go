@@ -1,0 +1,231 @@
+package graphstats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pg"
+)
+
+func ring(n int) *pg.Graph {
+	g := pg.New()
+	ids := make([]pg.OID, n)
+	for i := range ids {
+		ids[i] = g.AddNode([]string{"N"}, nil).ID
+	}
+	for i := range ids {
+		g.MustAddEdge(ids[i], ids[(i+1)%n], "E", nil)
+	}
+	return g
+}
+
+func TestSCCRing(t *testing.T) {
+	g := ring(5)
+	sccs := SCC(g)
+	if len(sccs) != 1 || len(sccs[0]) != 5 {
+		t.Fatalf("ring SCCs = %v", sccs)
+	}
+}
+
+func TestSCCChain(t *testing.T) {
+	g := pg.New()
+	var prev pg.OID
+	for i := 0; i < 6; i++ {
+		n := g.AddNode([]string{"N"}, nil)
+		if i > 0 {
+			g.MustAddEdge(prev, n.ID, "E", nil)
+		}
+		prev = n.ID
+	}
+	sccs := SCC(g)
+	if len(sccs) != 6 {
+		t.Fatalf("chain must have 6 trivial SCCs, got %d", len(sccs))
+	}
+}
+
+func TestSCCTwoComponents(t *testing.T) {
+	g := pg.New()
+	a := g.AddNode([]string{"N"}, nil).ID
+	b := g.AddNode([]string{"N"}, nil).ID
+	c := g.AddNode([]string{"N"}, nil).ID
+	d := g.AddNode([]string{"N"}, nil).ID
+	g.MustAddEdge(a, b, "E", nil)
+	g.MustAddEdge(b, a, "E", nil)
+	g.MustAddEdge(b, c, "E", nil)
+	g.MustAddEdge(c, d, "E", nil)
+	g.MustAddEdge(d, c, "E", nil)
+	sccs := SCC(g)
+	if len(sccs) != 2 {
+		t.Fatalf("SCCs = %v", sccs)
+	}
+	if len(sccs[0]) != 2 || len(sccs[1]) != 2 {
+		t.Errorf("component sizes wrong: %v", sccs)
+	}
+}
+
+func TestSCCDeepChainNoStackOverflow(t *testing.T) {
+	// The iterative Tarjan must survive paths far deeper than the goroutine
+	// stack would allow recursively.
+	g := pg.New()
+	var prev pg.OID
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		node := g.AddNode(nil, nil)
+		if i > 0 {
+			g.MustAddEdge(prev, node.ID, "E", nil)
+		}
+		prev = node.ID
+	}
+	if got := len(SCC(g)); got != n {
+		t.Fatalf("SCC count = %d", got)
+	}
+}
+
+func TestWCC(t *testing.T) {
+	g := pg.New()
+	a := g.AddNode([]string{"N"}, nil).ID
+	b := g.AddNode([]string{"N"}, nil).ID
+	g.AddNode([]string{"N"}, nil) // isolated
+	g.MustAddEdge(a, b, "E", nil)
+	wccs := WCC(g)
+	if len(wccs) != 2 {
+		t.Fatalf("WCCs = %v", wccs)
+	}
+}
+
+// TestSCCRefinesWCC is a property-based test: every SCC is contained in a
+// single WCC, and the component partitions cover all nodes exactly once.
+func TestSCCRefinesWCC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := pg.New()
+		n := 20 + rng.Intn(30)
+		ids := make([]pg.OID, n)
+		for i := range ids {
+			ids[i] = g.AddNode([]string{"N"}, nil).ID
+		}
+		for i := 0; i < n*2; i++ {
+			g.MustAddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], "E", nil)
+		}
+		sccs := SCC(g)
+		wccs := WCC(g)
+		wccOf := map[pg.OID]int{}
+		covered := 0
+		for wi, comp := range wccs {
+			for _, id := range comp {
+				wccOf[id] = wi
+				covered++
+			}
+		}
+		if covered != n {
+			return false
+		}
+		sccCovered := 0
+		for _, comp := range sccs {
+			sccCovered += len(comp)
+			w := wccOf[comp[0]]
+			for _, id := range comp {
+				if wccOf[id] != w {
+					return false
+				}
+			}
+		}
+		return sccCovered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusteringTriangle(t *testing.T) {
+	g := pg.New()
+	a := g.AddNode(nil, nil).ID
+	b := g.AddNode(nil, nil).ID
+	c := g.AddNode(nil, nil).ID
+	g.MustAddEdge(a, b, "E", nil)
+	g.MustAddEdge(b, c, "E", nil)
+	g.MustAddEdge(c, a, "E", nil)
+	if got := AvgClustering(g, 0); got < 0.999 {
+		t.Errorf("triangle clustering = %v, want 1", got)
+	}
+	// A star has zero clustering.
+	s := pg.New()
+	hub := s.AddNode(nil, nil).ID
+	for i := 0; i < 5; i++ {
+		leaf := s.AddNode(nil, nil).ID
+		s.MustAddEdge(hub, leaf, "E", nil)
+	}
+	if got := AvgClustering(s, 0); got != 0 {
+		t.Errorf("star clustering = %v, want 0", got)
+	}
+}
+
+func TestPowerLawMLE(t *testing.T) {
+	// A synthetic Zipf-ish sample with alpha ~2.
+	rng := rand.New(rand.NewSource(1))
+	var degrees []int
+	for i := 0; i < 20000; i++ {
+		u := rng.Float64()
+		k := int(1 / (1 - u)) // pareto with alpha ~ 2
+		if k > 100000 {
+			k = 100000
+		}
+		degrees = append(degrees, k)
+	}
+	alpha, xmin := PowerLawMLE(degrees)
+	if xmin != 1 {
+		t.Errorf("xmin = %d", xmin)
+	}
+	if alpha < 1.6 || alpha > 2.4 {
+		t.Errorf("alpha = %v, want ~2", alpha)
+	}
+	// Degenerate samples return no fit.
+	if a, _ := PowerLawMLE([]int{0, 0}); a != 0 {
+		t.Errorf("degenerate fit = %v", a)
+	}
+}
+
+func TestComputeOnRing(t *testing.T) {
+	s := Compute(ring(10))
+	if s.Nodes != 10 || s.Edges != 10 {
+		t.Fatalf("sizes = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.SCCCount != 1 || s.SCCMaxSize != 10 {
+		t.Errorf("SCC stats wrong: %+v", s)
+	}
+	if s.WCCCount != 1 || s.WCCMaxSize != 10 {
+		t.Errorf("WCC stats wrong: %+v", s)
+	}
+	if s.AvgInDegreeAll != 1 || s.MaxInDegree != 1 {
+		t.Errorf("degree stats wrong: %+v", s)
+	}
+	if s.Table() == "" {
+		t.Error("table rendering empty")
+	}
+}
+
+func TestDegreeHelpers(t *testing.T) {
+	g := pg.New()
+	a := g.AddNode(nil, nil).ID
+	b := g.AddNode(nil, nil).ID
+	g.MustAddEdge(a, b, "E", nil)
+	g.MustAddEdge(a, b, "E", nil)
+	if got := OutDegrees(g); got[0] != 2 || got[1] != 0 {
+		t.Errorf("out degrees = %v", got)
+	}
+	if got := InDegrees(g); got[0] != 0 || got[1] != 2 {
+		t.Errorf("in degrees = %v", got)
+	}
+	h := DegreeHistogram([]int{1, 1, 2})
+	if h[1] != 2 || h[2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestComputeEmptyGraph(t *testing.T) {
+	s := Compute(pg.New())
+	if s.Nodes != 0 || s.SCCCount != 0 {
+		t.Errorf("empty graph stats = %+v", s)
+	}
+}

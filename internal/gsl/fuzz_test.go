@@ -1,0 +1,31 @@
+package gsl
+
+import "testing"
+
+// FuzzParse exercises the GSL parser for panics and canonical-form
+// stability: any design that parses must serialize to a fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`schema t oid 1 { node A { id: string @id } }`,
+		`schema t oid 2 { node A { id: string @id @unique @enum("a","b") } generalization G of A total disjoint { B } node B }`,
+		`schema t oid 3 { node A { id: string @id } edge R (A 0..N -> 1..1 A) { w: float @range(0,1) } }`,
+		`schema broken oid {`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		schema, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Serialize(schema)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("serialized form does not reparse: %v\n%s", err, text)
+		}
+		if Serialize(again) != text {
+			t.Fatalf("serialization is not a fixpoint:\n%s\nvs\n%s", text, Serialize(again))
+		}
+	})
+}

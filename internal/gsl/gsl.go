@@ -1,0 +1,280 @@
+// Package gsl implements the Graph Schema Language, KGModel's conceptual
+// design language for super-schemas (Section 3).
+//
+// The paper's GSL is visual: the rendering function Γ_SM maps every
+// super-construct instance to a grapheme (Figure 3). This package provides
+//
+//   - a textual GSL dialect with a parser and serializer, playing the role
+//     of the KGSE design environment's storage format;
+//   - Γ_SM as an explicit, testable table (Grapheme / GraphemeTable);
+//   - renderers that realize the graphemes: Graphviz DOT (solid vs dashed
+//     for extensional vs intensional, arrowhead styles for the four
+//     generalization variants, lollipop-style attribute markers) and a
+//     plain-text rendering for terminals.
+//
+// The textual dialect:
+//
+//	schema CompanyKG oid 123 {
+//	  node Person {
+//	    fiscalCode: string @id @unique
+//	  }
+//	  intensional node Family {
+//	    familyName: string
+//	  }
+//	  generalization PersonKind of Person total disjoint {
+//	    PhysicalPerson
+//	    LegalPerson
+//	  }
+//	  edge HOLDS (Person 0..N -> 1..N Share) {
+//	    right: string @enum("ownership","bare ownership","usufruct")
+//	    percentage: float @range(0,1)
+//	  }
+//	  intensional edge CONTROLS (Person 0..N -> 0..N Business)
+//	}
+package gsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/supermodel"
+)
+
+// ConstructKey identifies a row of the Γ_SM table: a super-construct
+// together with the attribute values that select its grapheme (Figure 3
+// distinguishes, e.g., intensional from extensional SM_Nodes).
+type ConstructKey struct {
+	Construct string
+	Variant   string
+}
+
+// Grapheme is an elementary graphic item of the visual alphabet V.
+type Grapheme struct {
+	Name string // stable identifier of the grapheme
+	DOT  string // Graphviz attributes realizing it
+	Text string // plain-text marker realizing it
+}
+
+// GraphemeTable is the tabular representation of the rendering function
+// Γ_SM of Figure 3. It is a bijection: distinct construct variants map to
+// distinct graphemes (verified by tests).
+func GraphemeTable() map[ConstructKey]Grapheme {
+	return map[ConstructKey]Grapheme{
+		{"SM_Node", "extensional"}: {"solid-box", `shape=box style=solid`, "[N]"},
+		{"SM_Node", "intensional"}: {"dashed-box", `shape=box style=dashed`, "[N~]"},
+		{"SM_Edge", "extensional"}: {"solid-arrow", `style=solid arrowhead=vee`, "-->"},
+		{"SM_Edge", "intensional"}: {"dashed-arrow", `style=dashed arrowhead=vee`, "~~>"},
+		{"SM_Type", ""}:            {"name-label", `fontname="Helvetica-Bold"`, "name"},
+
+		{"SM_Attribute", "plain"}:    {"lollipop", `circle-filled-small`, "-o"},
+		{"SM_Attribute", "optional"}: {"lollipop-open", `circle-open-small`, "-o?"},
+		{"SM_Attribute", "id"}:       {"lollipop-key", `circle-filled-key`, "-o*"},
+
+		{"SM_HAS_NODE_PROPERTY", "extensional"}: {"prop-line", `style=solid`, ":"},
+		{"SM_HAS_NODE_PROPERTY", "intensional"}: {"prop-line-dashed", `style=dashed`, ":~"},
+
+		{"SM_Generalization", "total-disjoint"}:      {"gen-td", `arrowhead=normal style=bold`, "<=!"},
+		{"SM_Generalization", "partial-disjoint"}:    {"gen-pd", `arrowhead=normal style=solid`, "<-!"},
+		{"SM_Generalization", "total-overlapping"}:   {"gen-to", `arrowhead=empty style=bold`, "<=+"},
+		{"SM_Generalization", "partial-overlapping"}: {"gen-po", `arrowhead=empty style=solid`, "<-+"},
+	}
+}
+
+// NodeGrapheme returns the grapheme of a node construct.
+func NodeGrapheme(n *supermodel.Node) Grapheme {
+	variant := "extensional"
+	if n.IsIntensional {
+		variant = "intensional"
+	}
+	return GraphemeTable()[ConstructKey{"SM_Node", variant}]
+}
+
+// EdgeGrapheme returns the grapheme of an edge construct.
+func EdgeGrapheme(e *supermodel.Edge) Grapheme {
+	variant := "extensional"
+	if e.IsIntensional {
+		variant = "intensional"
+	}
+	return GraphemeTable()[ConstructKey{"SM_Edge", variant}]
+}
+
+// AttrGrapheme returns the grapheme of an attribute construct.
+func AttrGrapheme(a *supermodel.Attribute) Grapheme {
+	switch {
+	case a.IsID:
+		return GraphemeTable()[ConstructKey{"SM_Attribute", "id"}]
+	case a.IsOpt:
+		return GraphemeTable()[ConstructKey{"SM_Attribute", "optional"}]
+	default:
+		return GraphemeTable()[ConstructKey{"SM_Attribute", "plain"}]
+	}
+}
+
+// GenGrapheme returns the grapheme of a generalization construct.
+func GenGrapheme(g *supermodel.Generalization) Grapheme {
+	switch {
+	case g.IsTotal && g.IsDisjoint:
+		return GraphemeTable()[ConstructKey{"SM_Generalization", "total-disjoint"}]
+	case !g.IsTotal && g.IsDisjoint:
+		return GraphemeTable()[ConstructKey{"SM_Generalization", "partial-disjoint"}]
+	case g.IsTotal && !g.IsDisjoint:
+		return GraphemeTable()[ConstructKey{"SM_Generalization", "total-overlapping"}]
+	default:
+		return GraphemeTable()[ConstructKey{"SM_Generalization", "partial-overlapping"}]
+	}
+}
+
+// RenderDOT renders the GSL diagram of a super-schema as Graphviz DOT,
+// applying Γ_SM.
+func RenderDOT(s *supermodel.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10 fontname=\"Helvetica\"];\n  edge [fontsize=9 fontname=\"Helvetica\"];\n")
+	for _, n := range s.Nodes {
+		gph := NodeGrapheme(n)
+		var rows []string
+		rows = append(rows, n.Name)
+		for _, a := range n.Attributes {
+			rows = append(rows, attrRow(a))
+		}
+		fmt.Fprintf(&b, "  %q [%s label=\"%s\"];\n", n.Name, gph.DOT, strings.Join(rows, "\\n"))
+	}
+	for _, e := range s.Edges {
+		gph := EdgeGrapheme(e)
+		label := e.Name
+		for _, a := range e.Attributes {
+			label += "\\n" + attrRow(a)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s label=\"%s\" taillabel=%q headlabel=%q];\n",
+			e.From, e.To, gph.DOT, label, e.FromCard.String(), e.ToCard.String())
+	}
+	for _, g := range s.Generalizations {
+		gph := GenGrapheme(g)
+		for _, c := range g.Children {
+			fmt.Fprintf(&b, "  %q -> %q [%s label=%q];\n", c, g.Parent, gph.DOT, g.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func attrRow(a *supermodel.Attribute) string {
+	row := AttrGrapheme(a).Text + " " + a.Name + ": " + string(a.Type)
+	if a.IsIntensional {
+		row += " ~"
+	}
+	for _, m := range a.Modifiers {
+		row += " {" + m.Describe() + "}"
+	}
+	return row
+}
+
+// RenderText renders a plain-text GSL diagram summary for terminals.
+func RenderText(s *supermodel.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s (oid %d): %s\n", s.Name, s.OID, s.Stats())
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "%s %s\n", NodeGrapheme(n).Text, n.Name)
+		for _, a := range n.Attributes {
+			fmt.Fprintf(&b, "    %s\n", attrRow(a))
+		}
+	}
+	for _, g := range s.Generalizations {
+		children := append([]string(nil), g.Children...)
+		sort.Strings(children)
+		fmt.Fprintf(&b, "%s %s: %s of %s\n", GenGrapheme(g).Text, g.Name, strings.Join(children, ", "), g.Parent)
+	}
+	for _, e := range s.Edges {
+		fmt.Fprintf(&b, "%s %s: %s [%s] %s [%s]\n",
+			EdgeGrapheme(e).Text, e.Name, e.From, e.FromCard, e.To, e.ToCard)
+		for _, a := range e.Attributes {
+			fmt.Fprintf(&b, "    %s\n", attrRow(a))
+		}
+	}
+	return b.String()
+}
+
+// Serialize renders the super-schema in the textual GSL dialect; Parse
+// reads it back.
+func Serialize(s *supermodel.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s oid %d {\n", s.Name, s.OID)
+	for _, n := range s.Nodes {
+		kw := "node"
+		if n.IsIntensional {
+			kw = "intensional node"
+		}
+		if len(n.Attributes) == 0 {
+			fmt.Fprintf(&b, "  %s %s\n", kw, n.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "  %s %s {\n", kw, n.Name)
+		for _, a := range n.Attributes {
+			fmt.Fprintf(&b, "    %s\n", serializeAttr(a))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, g := range s.Generalizations {
+		flags := ""
+		if g.IsTotal {
+			flags += " total"
+		}
+		if g.IsDisjoint {
+			flags += " disjoint"
+		}
+		fmt.Fprintf(&b, "  generalization %s of %s%s {\n", g.Name, g.Parent, flags)
+		for _, c := range g.Children {
+			fmt.Fprintf(&b, "    %s\n", c)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range s.Edges {
+		kw := "edge"
+		if e.IsIntensional {
+			kw = "intensional edge"
+		}
+		head := fmt.Sprintf("  %s %s (%s %s -> %s %s)", kw, e.Name, e.From, e.FromCard, e.ToCard, e.To)
+		if len(e.Attributes) == 0 {
+			b.WriteString(head + "\n")
+			continue
+		}
+		b.WriteString(head + " {\n")
+		for _, a := range e.Attributes {
+			fmt.Fprintf(&b, "    %s\n", serializeAttr(a))
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func serializeAttr(a *supermodel.Attribute) string {
+	s := a.Name + ": " + string(a.Type)
+	if a.IsID {
+		s += " @id"
+	}
+	if a.IsOpt {
+		s += " @opt"
+	}
+	if a.IsIntensional {
+		s += " @intensional"
+	}
+	for _, m := range a.Modifiers {
+		switch m := m.(type) {
+		case supermodel.UniqueModifier:
+			s += " @unique"
+		case supermodel.EnumModifier:
+			quoted := make([]string, len(m.Values))
+			for i, v := range m.Values {
+				quoted[i] = fmt.Sprintf("%q", v)
+			}
+			s += " @enum(" + strings.Join(quoted, ",") + ")"
+		case supermodel.RangeModifier:
+			s += fmt.Sprintf(" @range(%g,%g)", m.Min, m.Max)
+		case supermodel.DefaultModifier:
+			s += fmt.Sprintf(" @default(%q)", m.Value)
+		}
+	}
+	return s
+}

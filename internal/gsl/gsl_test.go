@@ -1,0 +1,179 @@
+package gsl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/supermodel"
+)
+
+// TestRenderingFunctionBijective verifies that Γ_SM is a bijection, as the
+// paper requires of rendering functions (Section 3.1): distinct construct
+// variants map to distinct graphemes.
+func TestRenderingFunctionBijective(t *testing.T) {
+	table := GraphemeTable()
+	seen := map[string]ConstructKey{}
+	for key, gph := range table {
+		if prev, dup := seen[gph.Name]; dup {
+			t.Errorf("grapheme %q used by both %v and %v", gph.Name, prev, key)
+		}
+		seen[gph.Name] = key
+		if gph.DOT == "" || gph.Text == "" {
+			t.Errorf("grapheme %q has empty realization", gph.Name)
+		}
+	}
+}
+
+func TestGeneralizationGraphemeVariants(t *testing.T) {
+	variants := map[string]*supermodel.Generalization{
+		"gen-td": {IsTotal: true, IsDisjoint: true},
+		"gen-pd": {IsTotal: false, IsDisjoint: true},
+		"gen-to": {IsTotal: true, IsDisjoint: false},
+		"gen-po": {IsTotal: false, IsDisjoint: false},
+	}
+	for want, g := range variants {
+		if got := GenGrapheme(g).Name; got != want {
+			t.Errorf("GenGrapheme(%+v) = %s, want %s", g, got, want)
+		}
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	s := supermodel.CompanyKG()
+	text := Serialize(s)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse serialized GSL: %v\n%s", err, text)
+	}
+	if back.Name != s.Name || back.OID != s.OID {
+		t.Errorf("schema identity changed: %s/%d", back.Name, back.OID)
+	}
+	if len(back.Nodes) != len(s.Nodes) || len(back.Edges) != len(s.Edges) || len(back.Generalizations) != len(s.Generalizations) {
+		t.Fatalf("round trip size mismatch: %s vs %s", back.Stats(), s.Stats())
+	}
+	// Second round trip must be a fixpoint.
+	text2 := Serialize(back)
+	if text2 != text {
+		t.Errorf("serialization is not canonical:\n%s\nvs\n%s", text, text2)
+	}
+	// Spot-check details survived.
+	holds := back.Edge("HOLDS")
+	if holds == nil || holds.FromCard != supermodel.ZeroToMany || holds.ToCard != supermodel.OneToMany {
+		t.Errorf("HOLDS cardinalities lost: %+v", holds)
+	}
+	right := holds.Attribute("right")
+	if right == nil || len(right.Modifiers) != 1 {
+		t.Errorf("HOLDS.right enum modifier lost: %+v", right)
+	}
+	if a := back.Node("Business").Attribute("numberOfStakeholders"); a == nil || !a.IsIntensional || !a.IsOpt {
+		t.Errorf("intensional attribute flags lost: %+v", a)
+	}
+}
+
+func TestParseForwardReferences(t *testing.T) {
+	// Edges may reference nodes declared later.
+	src := `schema t oid 7 {
+		edge R (A 0..N -> 0..N B)
+		node A { id: string @id }
+		node B { id: string @id }
+	}`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Edge("R") == nil {
+		t.Error("edge R missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`schema t oid 1 { node A { x: bogustype } }`,
+		`schema t oid 1 { edge R (A 0..N -> 0..N B) }`,                                   // dangling nodes
+		`schema t oid 1 { node A { id: string @id } node A }`,                            // dup
+		`schema t oid 1 { node A { id: string @id @unknownmarker } }`,                    // bad marker
+		`schema t oid 1 { node A { id: string @id } generalization G of A total { A } }`, // self child
+		`schema t oid x { }`, // bad oid
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse should fail: %s", src)
+		}
+	}
+}
+
+// TestFigure4Rendering renders the Company KG of Figure 4 and checks the
+// grapheme realizations: intensional constructs dashed, extensional solid,
+// generalizations with variant-specific arrows.
+func TestFigure4Rendering(t *testing.T) {
+	s := supermodel.CompanyKG()
+	dot := RenderDOT(s)
+	if !strings.Contains(dot, `"CONTROLS"`) && !strings.Contains(dot, "CONTROLS") {
+		t.Errorf("DOT output missing CONTROLS edge")
+	}
+	if !strings.Contains(dot, "style=dashed") {
+		t.Errorf("intensional constructs must render dashed")
+	}
+	if !strings.Contains(dot, "arrowhead=normal style=bold") {
+		t.Errorf("total disjoint generalizations must render as bold solid arrows")
+	}
+	if !strings.Contains(dot, `taillabel="0..N"`) {
+		t.Errorf("cardinalities must be rendered")
+	}
+
+	text := RenderText(s)
+	if !strings.Contains(text, "[N~] Family") {
+		t.Errorf("intensional node grapheme missing in text rendering:\n%s", text)
+	}
+	if !strings.Contains(text, "-o* fiscalCode: string") {
+		t.Errorf("identifying attribute grapheme missing:\n%s", text)
+	}
+	if !strings.Contains(text, "~~> CONTROLS") {
+		t.Errorf("intensional edge grapheme missing:\n%s", text)
+	}
+}
+
+func TestParseEmptyIntensionalNode(t *testing.T) {
+	src := `schema t oid 3 {
+		node A { id: string @id }
+		intensional node V
+		intensional edge E (A 0..N -> 0..N V)
+	}`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if n := s.Node("V"); n == nil || !n.IsIntensional {
+		t.Error("intensional node V missing")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# full-line comment
+schema t oid 4 { // trailing comment
+	node A { id: string @id } # another
+}`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("comments must be skipped: %v", err)
+	}
+	if s.Node("A") == nil {
+		t.Error("node lost")
+	}
+}
+
+func TestRenderTextAllAttrVariants(t *testing.T) {
+	s := supermodel.NewSchema("v", 8)
+	s.MustAddNode("A", false,
+		supermodel.Attr("id", supermodel.String).ID(),
+		supermodel.Attr("opt", supermodel.Int).Opt(),
+		supermodel.Attr("plain", supermodel.Bool),
+		supermodel.Attr("derived", supermodel.Float).Opt().Intensional().With(supermodel.DefaultModifier{Value: "0"}),
+	)
+	text := RenderText(s)
+	for _, want := range []string{"-o* id", "-o? opt", "-o plain", "derived: float ~", "{default(0)}"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}

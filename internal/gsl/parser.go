@@ -1,0 +1,456 @@
+package gsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/supermodel"
+)
+
+// Parse reads a super-schema from the textual GSL dialect produced by
+// Serialize. The parsed schema is validated before being returned.
+func Parse(src string) (*supermodel.Schema, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.parseSchema()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse panics on errors; for embedded designs.
+func MustParse(src string) *supermodel.Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type tok struct {
+	kind string // ident, number, string, punct
+	text string
+	line int
+}
+
+func lex(src string) ([]tok, error) {
+	var out []tok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			start := i
+			for i < len(src) && (src[i] == '_' || src[i] >= 'a' && src[i] <= 'z' || src[i] >= 'A' && src[i] <= 'Z' || src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			out = append(out, tok{"ident", src[start:i], line})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			// Distinguish a plain number from the start of a cardinality
+			// like "0..N": stop at "..".
+			if i+1 < len(src) && src[i] == '.' && src[i+1] != '.' {
+				i++
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			out = append(out, tok{"number", src[start:i], line})
+		case c == '"':
+			start := i
+			i++
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("gsl: line %d: unterminated string", line)
+			}
+			i++
+			out = append(out, tok{"string", src[start:i], line})
+		default:
+			switch {
+			case strings.HasPrefix(src[i:], "->"):
+				out = append(out, tok{"punct", "->", line})
+				i += 2
+			case strings.HasPrefix(src[i:], ".."):
+				out = append(out, tok{"punct", "..", line})
+				i += 2
+			case strings.ContainsRune("{}():,@-", rune(c)):
+				out = append(out, tok{"punct", string(c), line})
+				i++
+			default:
+				return nil, fmt.Errorf("gsl: line %d: unexpected character %q", line, string(c))
+			}
+		}
+	}
+	out = append(out, tok{"eof", "", line})
+	return out, nil
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok { return p.toks[p.pos] }
+func (p *parser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectIdent(words ...string) (tok, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return t, fmt.Errorf("gsl: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	if len(words) > 0 {
+		for _, w := range words {
+			if t.text == w {
+				return t, nil
+			}
+		}
+		return t, fmt.Errorf("gsl: line %d: expected %v, got %q", t.line, words, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectPunct(text string) error {
+	t := p.next()
+	if t.kind != "punct" || t.text != text {
+		return fmt.Errorf("gsl: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) atPunct(text string) bool {
+	t := p.peek()
+	return t.kind == "punct" && t.text == text
+}
+
+func (p *parser) atIdent(text string) bool {
+	t := p.peek()
+	return t.kind == "ident" && t.text == text
+}
+
+func (p *parser) parseSchema() (*supermodel.Schema, error) {
+	if _, err := p.expectIdent("schema"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent("oid"); err != nil {
+		return nil, err
+	}
+	oidTok := p.next()
+	if oidTok.kind != "number" {
+		return nil, fmt.Errorf("gsl: line %d: expected schema oid number", oidTok.line)
+	}
+	oid, err := strconv.ParseInt(oidTok.text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("gsl: line %d: bad oid %q", oidTok.line, oidTok.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	s := supermodel.NewSchema(name.text, oid)
+
+	// Deferred additions: edges and generalizations may reference nodes
+	// declared later in the file.
+	type edgeDecl struct {
+		name, from, to   string
+		fromCard, toCard supermodel.Cardinality
+		attrs            []*supermodel.Attribute
+		intensional      bool
+		line             int
+	}
+	type genDecl struct {
+		name, parent    string
+		children        []string
+		total, disjoint bool
+	}
+	var edges []edgeDecl
+	var gens []genDecl
+
+	for !p.atPunct("}") {
+		t := p.peek()
+		if t.kind == "eof" {
+			return nil, fmt.Errorf("gsl: unexpected end of input inside schema body")
+		}
+		intensional := false
+		if p.atIdent("intensional") {
+			p.next()
+			intensional = true
+		}
+		kw, err := p.expectIdent("node", "edge", "generalization")
+		if err != nil {
+			return nil, err
+		}
+		switch kw.text {
+		case "node":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var attrs []*supermodel.Attribute
+			if p.atPunct("{") {
+				p.next()
+				attrs, err = p.parseAttrs()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := s.AddNode(name.text, intensional, attrs...); err != nil {
+				return nil, err
+			}
+		case "edge":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			from, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fromCard, err := p.parseCardinality()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("->"); err != nil {
+				return nil, err
+			}
+			toCard, err := p.parseCardinality()
+			if err != nil {
+				return nil, err
+			}
+			to, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			var attrs []*supermodel.Attribute
+			if p.atPunct("{") {
+				p.next()
+				attrs, err = p.parseAttrs()
+				if err != nil {
+					return nil, err
+				}
+			}
+			edges = append(edges, edgeDecl{
+				name: name.text, from: from.text, to: to.text,
+				fromCard: fromCard, toCard: toCard,
+				attrs: attrs, intensional: intensional, line: name.line,
+			})
+		case "generalization":
+			if intensional {
+				return nil, fmt.Errorf("gsl: line %d: generalizations cannot be intensional", kw.line)
+			}
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent("of"); err != nil {
+				return nil, err
+			}
+			parent, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			g := genDecl{name: name.text, parent: parent.text}
+			for p.atIdent("total") || p.atIdent("disjoint") {
+				if p.next().text == "total" {
+					g.total = true
+				} else {
+					g.disjoint = true
+				}
+			}
+			if err := p.expectPunct("{"); err != nil {
+				return nil, err
+			}
+			for !p.atPunct("}") {
+				c, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				g.children = append(g.children, c.text)
+			}
+			p.next() // consume }
+			gens = append(gens, g)
+		}
+	}
+	p.next() // consume final }
+
+	for _, e := range edges {
+		if _, err := s.AddEdge(e.name, e.intensional, e.from, e.to, e.fromCard, e.toCard, e.attrs...); err != nil {
+			return nil, fmt.Errorf("gsl: line %d: %w", e.line, err)
+		}
+	}
+	for _, g := range gens {
+		if _, err := s.AddGeneralization(g.name, g.parent, g.children, g.total, g.disjoint); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseCardinality() (supermodel.Cardinality, error) {
+	lo := p.next()
+	if lo.kind != "number" {
+		return supermodel.Cardinality{}, fmt.Errorf("gsl: line %d: expected cardinality minimum, got %q", lo.line, lo.text)
+	}
+	if err := p.expectPunct(".."); err != nil {
+		return supermodel.Cardinality{}, err
+	}
+	hi := p.next()
+	return supermodel.ParseCardinality(lo.text + ".." + hi.text)
+}
+
+func (p *parser) parseAttrs() ([]*supermodel.Attribute, error) {
+	var out []*supermodel.Attribute
+	for !p.atPunct("}") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		a := supermodel.Attr(name.text, supermodel.DataType(typ.text))
+		for p.atPunct("@") {
+			p.next()
+			marker, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			switch marker.text {
+			case "id":
+				a.ID()
+			case "opt":
+				a.Opt()
+			case "intensional":
+				a.Intensional()
+			case "unique":
+				a.With(supermodel.UniqueModifier{})
+			case "enum":
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				var vals []string
+				for !p.atPunct(")") {
+					v := p.next()
+					if v.kind != "string" {
+						return nil, fmt.Errorf("gsl: line %d: enum values must be strings", v.line)
+					}
+					uq, err := strconv.Unquote(v.text)
+					if err != nil {
+						return nil, fmt.Errorf("gsl: line %d: bad string %s", v.line, v.text)
+					}
+					vals = append(vals, uq)
+					if p.atPunct(",") {
+						p.next()
+					}
+				}
+				p.next()
+				a.With(supermodel.EnumModifier{Values: vals})
+			case "range":
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				lo, err := p.parseSignedNumber()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseSignedNumber()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				a.With(supermodel.RangeModifier{Min: lo, Max: hi})
+			case "default":
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				v := p.next()
+				text := v.text
+				if v.kind == "string" {
+					uq, err := strconv.Unquote(v.text)
+					if err != nil {
+						return nil, fmt.Errorf("gsl: line %d: bad string %s", v.line, v.text)
+					}
+					text = uq
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				a.With(supermodel.DefaultModifier{Value: text})
+			default:
+				return nil, fmt.Errorf("gsl: line %d: unknown attribute marker @%s", marker.line, marker.text)
+			}
+		}
+		out = append(out, a)
+	}
+	p.next() // consume }
+	return out, nil
+}
+
+func (p *parser) parseSignedNumber() (float64, error) {
+	neg := false
+	if p.atPunct("-") {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	if t.kind != "number" {
+		return 0, fmt.Errorf("gsl: line %d: expected number, got %q", t.line, t.text)
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gsl: line %d: bad number %q", t.line, t.text)
+	}
+	if neg {
+		f = -f
+	}
+	return f, nil
+}

@@ -1,0 +1,307 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metalog"
+	"repro/internal/pg"
+	"repro/internal/supermodel"
+	"repro/internal/vadalog"
+	"repro/internal/value"
+)
+
+// CatalogFromSchema derives the MetaLog catalog of a designed super-schema:
+// each node label exposes its effective attributes (own plus inherited), and
+// each edge label its own attributes. This is the schema-driven counterpart
+// of metalog.FromGraph, used when the property layout comes from the design
+// rather than from instance inference.
+func CatalogFromSchema(s *supermodel.Schema) *metalog.Catalog {
+	cat := metalog.NewCatalog()
+	for _, n := range s.Nodes {
+		var props []string
+		for _, a := range s.EffectiveAttributes(n.Name) {
+			props = append(props, a.Name)
+		}
+		cat.EnsureNode(n.Name, props...)
+	}
+	for _, e := range s.Edges {
+		var props []string
+		for _, a := range e.Attributes {
+			props = append(props, a.Name)
+		}
+		cat.EnsureEdge(e.Name, props...)
+	}
+	return cat
+}
+
+// InputViews builds the V_I^Σ facts (Algorithm 2, line 5): for every node
+// label, one fact per instance entity whose type is the label or a
+// descendant of it — the generalization-aware reading of Example 6.2 — and
+// for every edge label one fact per I_SM_Edge. Fact layouts follow the
+// catalog; absent attributes hold the Missing marker.
+func (l *Loaded) InputViews(cat *metalog.Catalog) (*vadalog.Database, error) {
+	db := vadalog.NewDatabase()
+	s := l.Dict.Schema
+
+	ioids := make([]pg.OID, 0, len(l.Entities))
+	for ioid := range l.Entities {
+		ioids = append(ioids, ioid)
+	}
+	sort.Slice(ioids, func(i, j int) bool { return ioids[i] < ioids[j] })
+
+	for _, ioid := range ioids {
+		ent := l.Entities[ioid]
+		labels := append([]string{ent.Type}, s.Ancestors(ent.Type)...)
+		for _, label := range labels {
+			props := cat.NodeProps[label]
+			f := make([]value.Value, 1+len(props))
+			f[0] = value.IntV(int64(ioid))
+			for i, p := range props {
+				if v, ok := ent.Attrs[p]; ok {
+					f[i+1] = v
+				} else {
+					f[i+1] = metalog.Missing
+				}
+			}
+			if _, err := db.AddFact(label, f...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Edge facts from the instance constructs.
+	g := l.Dict.Graph
+	for _, ie := range g.NodesByLabel(LIEdge) {
+		if io, ok := ie.Props["instanceOID"]; !ok || io.I != l.InstanceOID {
+			continue
+		}
+		var typ string
+		var from, to pg.OID
+		attrs := map[string]value.Value{}
+		for _, e := range g.Out(ie.ID) {
+			switch e.Label {
+			case LRefs:
+				typ, _ = constructTypeName(g, e.To, supermodel.LHasEdgeType)
+			case LIFrom:
+				from = e.To
+			case LITo:
+				to = e.To
+			case LIHasEAttr:
+				ia := g.Node(e.To)
+				for _, re := range g.Out(ia.ID) {
+					if re.Label == LRefs {
+						attrs[g.Node(re.To).Props["name"].S] = ia.Props["value"]
+					}
+				}
+			}
+		}
+		if typ == "" || from == 0 || to == 0 {
+			return nil, fmt.Errorf("instance: malformed I_SM_Edge %d", ie.ID)
+		}
+		props := cat.EdgeProps[typ]
+		f := make([]value.Value, 3+len(props))
+		f[0] = value.IntV(int64(ie.ID))
+		f[1] = value.IntV(int64(from))
+		f[2] = value.IntV(int64(to))
+		for i, p := range props {
+			if v, ok := attrs[p]; ok {
+				f[i+3] = v
+			} else {
+				f[i+3] = metalog.Missing
+			}
+		}
+		if _, err := db.AddFact(typ, f...); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// DerivedEdge is one intensional edge produced by the reasoning process.
+type DerivedEdge struct {
+	IOID  pg.OID
+	Type  string
+	From  pg.OID
+	To    pg.OID
+	Attrs map[string]value.Value
+}
+
+// Derived is the output of the flush phase: the derived components written
+// back into the instance super-constructs (Algorithm 2, line 9).
+type Derived struct {
+	NewEntities  []*Entity
+	NewEdges     []DerivedEdge
+	UpdatedProps int
+}
+
+// Flush applies the V_O^Σ output views: derived node facts become new
+// I_SM_Nodes (one per distinct Skolem identifier), derived edge facts become
+// I_SM_Edges between resolved entities, and in-place updates set attribute
+// values on existing entities.
+func (l *Loaded) Flush(db *vadalog.Database, tr *metalog.Translation, cat *metalog.Catalog) (*Derived, error) {
+	out := &Derived{}
+	d := l.Dict
+	idMap := map[string]pg.OID{}
+
+	resolve := func(v value.Value, createType string) (pg.OID, error) {
+		if oid, ok := v.AsInt(); ok {
+			if _, ok := l.Entities[pg.OID(oid)]; !ok {
+				return 0, fmt.Errorf("instance: derived fact references unknown entity %d", oid)
+			}
+			return pg.OID(oid), nil
+		}
+		key := v.Canonical()
+		if oid, ok := idMap[key]; ok {
+			return oid, nil
+		}
+		if createType == "" {
+			return 0, fmt.Errorf("instance: derived edge endpoint %s does not correspond to any entity", v)
+		}
+		ioid, err := d.addInstanceNode(l.InstanceOID, createType, nil)
+		if err != nil {
+			return 0, err
+		}
+		ent := &Entity{IOID: ioid, Type: createType, Attrs: map[string]value.Value{}}
+		l.Entities[ioid] = ent
+		out.NewEntities = append(out.NewEntities, ent)
+		idMap[key] = ioid
+		return ioid, nil
+	}
+
+	// New or updated entities from derived node facts.
+	for _, label := range sortedKeys(tr.HeadNodeLabels) {
+		props := cat.NodeProps[label]
+		for _, f := range db.SortedFacts(label) {
+			ioid, err := resolve(f[0], label)
+			if err != nil {
+				return nil, err
+			}
+			ent := l.Entities[ioid]
+			for i, p := range props {
+				v := f[i+1]
+				if v.IsZero() || value.Equal(v, metalog.Missing) {
+					continue
+				}
+				if _, ok := d.attrConstruct(ent.Type, p); !ok {
+					continue
+				}
+				if cur, ok := ent.Attrs[p]; !ok || !value.Equal(cur, v) {
+					ent.Attrs[p] = v
+					out.UpdatedProps++
+					if err := d.setInstanceAttr(l.InstanceOID, ioid, ent.Type, p, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// In-place property updates (mtv_set_<Label> shadow predicates).
+	for _, pred := range sortedKeys(boolKeys(tr.UpdateNodePreds)) {
+		label := tr.UpdateNodePreds[pred]
+		props := cat.NodeProps[label]
+		for _, f := range db.SortedFacts(pred) {
+			ioid, err := resolve(f[0], "")
+			if err != nil {
+				return nil, err
+			}
+			ent := l.Entities[ioid]
+			for i, p := range props {
+				v := f[i+1]
+				if v.IsZero() || value.Equal(v, metalog.Missing) {
+					continue
+				}
+				if cur, ok := ent.Attrs[p]; !ok || !value.Equal(cur, v) {
+					ent.Attrs[p] = v
+					out.UpdatedProps++
+					if err := d.setInstanceAttr(l.InstanceOID, ioid, ent.Type, p, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Derived edges: only Skolem-identified facts are new derivations;
+	// integer-identified facts are the input edges echoed through the views.
+	for _, label := range sortedKeys(tr.HeadEdgeLabels) {
+		props := cat.EdgeProps[label]
+		for _, f := range db.SortedFacts(label) {
+			if _, isInput := f[0].AsInt(); isInput {
+				continue
+			}
+			from, err := resolve(f[1], "")
+			if err != nil {
+				return nil, err
+			}
+			to, err := resolve(f[2], "")
+			if err != nil {
+				return nil, err
+			}
+			attrs := map[string]value.Value{}
+			for i, p := range props {
+				v := f[i+3]
+				if v.IsZero() || value.Equal(v, metalog.Missing) {
+					continue
+				}
+				attrs[p] = v
+			}
+			ieOID, err := d.addInstanceEdge(l.InstanceOID, label, from, to, attrs)
+			if err != nil {
+				return nil, err
+			}
+			out.NewEdges = append(out.NewEdges, DerivedEdge{
+				IOID: ieOID, Type: label, From: from, To: to, Attrs: attrs,
+			})
+			l.EdgeCount++
+		}
+	}
+	return out, nil
+}
+
+// setInstanceAttr updates or creates the I_SM_Attribute twin for one
+// attribute of an instance node.
+func (d *Dictionary) setInstanceAttr(instOID int64, ioid pg.OID, nodeType, attr string, v value.Value) error {
+	ac, ok := d.attrConstruct(nodeType, attr)
+	if !ok {
+		return fmt.Errorf("instance: node type %s has no attribute %q", nodeType, attr)
+	}
+	// Update in place if the twin exists.
+	for _, e := range d.Graph.Out(ioid) {
+		if e.Label != LIHasNAttr {
+			continue
+		}
+		ia := d.Graph.Node(e.To)
+		for _, re := range d.Graph.Out(ia.ID) {
+			if re.Label == LRefs && re.To == ac {
+				ia.Props["value"] = v
+				return nil
+			}
+		}
+	}
+	ia := d.Graph.AddNode([]string{LIAttr}, pg.Props{
+		"instanceOID": value.IntV(instOID),
+		"value":       v,
+	})
+	d.Graph.MustAddEdge(ioid, ia.ID, LIHasNAttr, nil)
+	d.Graph.MustAddEdge(ia.ID, ac, LRefs, nil)
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func boolKeys(m map[string]string) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package metalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pg"
+	"repro/internal/vadalog"
+	"repro/internal/value"
+)
+
+// Missing is the placeholder stored at a property position when a node or
+// edge does not carry that property. It is an identifier outside the constant
+// domain, so it never compares equal to real data; materialization skips it.
+var Missing = value.IDV("⊥")
+
+// Catalog fixes, for every node and edge label, the ordered list of property
+// names used by the PG-to-relational mapping of Section 4 (step 1): an
+// L-labeled node becomes a fact L(oid, p1, …, pn) and an L-labeled edge a
+// fact L(oid, from, to, f1, …, fm), with the property columns in catalog
+// order.
+type Catalog struct {
+	NodeProps map[string][]string // label -> sorted property names
+	EdgeProps map[string][]string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{NodeProps: map[string][]string{}, EdgeProps: map[string][]string{}}
+}
+
+// FromGraph infers a catalog from the labels and properties present in a
+// graph instance.
+func FromGraph(g *pg.Graph) *Catalog {
+	c := NewCatalog()
+	for _, n := range g.Nodes() {
+		for _, l := range n.Labels {
+			props := make([]string, 0, len(n.Props))
+			for k := range n.Props {
+				props = append(props, k)
+			}
+			c.EnsureNode(l, props...)
+		}
+	}
+	for _, e := range g.Edges() {
+		props := make([]string, 0, len(e.Props))
+		for k := range e.Props {
+			props = append(props, k)
+		}
+		c.EnsureEdge(e.Label, props...)
+	}
+	return c
+}
+
+func ensure(m map[string][]string, label string, props []string) {
+	existing := m[label]
+	seen := map[string]bool{}
+	for _, p := range existing {
+		seen[p] = true
+	}
+	changed := false
+	for _, p := range props {
+		if !seen[p] {
+			existing = append(existing, p)
+			seen[p] = true
+			changed = true
+		}
+	}
+	if changed || m[label] == nil {
+		sort.Strings(existing)
+		if existing == nil {
+			existing = []string{}
+		}
+		m[label] = existing
+	}
+}
+
+// EnsureNode registers a node label with the given properties (merged with
+// any already known, kept sorted).
+func (c *Catalog) EnsureNode(label string, props ...string) { ensure(c.NodeProps, label, props) }
+
+// EnsureEdge registers an edge label with the given properties.
+func (c *Catalog) EnsureEdge(label string, props ...string) { ensure(c.EdgeProps, label, props) }
+
+// HasNode reports whether the label is registered as a node label.
+func (c *Catalog) HasNode(label string) bool { _, ok := c.NodeProps[label]; return ok }
+
+// HasEdge reports whether the label is registered as an edge label.
+func (c *Catalog) HasEdge(label string) bool { _, ok := c.EdgeProps[label]; return ok }
+
+// NodeArity returns the relational arity of a node label: 1 (oid) + #props.
+func (c *Catalog) NodeArity(label string) int { return 1 + len(c.NodeProps[label]) }
+
+// EdgeArity returns the relational arity of an edge label:
+// 3 (oid, from, to) + #props.
+func (c *Catalog) EdgeArity(label string) int { return 3 + len(c.EdgeProps[label]) }
+
+// nodePropPos returns the argument position of a property in the node
+// relation, or -1.
+func (c *Catalog) nodePropPos(label, prop string) int {
+	for i, p := range c.NodeProps[label] {
+		if p == prop {
+			return 1 + i
+		}
+	}
+	return -1
+}
+
+func (c *Catalog) edgePropPos(label, prop string) int {
+	for i, p := range c.EdgeProps[label] {
+		if p == prop {
+			return 3 + i
+		}
+	}
+	return -1
+}
+
+// ExtractFacts implements translation step (1) of Section 4: it loads a
+// property-graph instance into a relational database instance following the
+// catalog's column layout. Multi-labeled nodes produce one fact per label.
+func ExtractFacts(g *pg.Graph, cat *Catalog) (*vadalog.Database, error) {
+	db := vadalog.NewDatabase()
+	for _, n := range g.Nodes() {
+		for _, l := range n.Labels {
+			if !cat.HasNode(l) {
+				continue // label outside the catalog's scope
+			}
+			props := cat.NodeProps[l]
+			f := make([]value.Value, 1+len(props))
+			f[0] = value.IntV(int64(n.ID))
+			for i, pname := range props {
+				if v, ok := n.Props[pname]; ok {
+					f[i+1] = v
+				} else {
+					f[i+1] = Missing
+				}
+			}
+			if _, err := db.AddFact(l, f...); err != nil {
+				return nil, fmt.Errorf("metalog: extracting node %d: %w", n.ID, err)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if !cat.HasEdge(e.Label) {
+			continue
+		}
+		props := cat.EdgeProps[e.Label]
+		f := make([]value.Value, 3+len(props))
+		f[0] = value.IntV(int64(e.ID))
+		f[1] = value.IntV(int64(e.From))
+		f[2] = value.IntV(int64(e.To))
+		for i, pname := range props {
+			if v, ok := e.Props[pname]; ok {
+				f[i+3] = v
+			} else {
+				f[i+3] = Missing
+			}
+		}
+		if _, err := db.AddFact(e.Label, f...); err != nil {
+			return nil, fmt.Errorf("metalog: extracting edge %d: %w", e.ID, err)
+		}
+	}
+	return db, nil
+}
+
+// MaterializeStats reports what Materialize changed in the target graph.
+type MaterializeStats struct {
+	NodesCreated int
+	NodesLabeled int
+	EdgesCreated int
+	PropsSet     int
+}
+
+// Materialize writes the derived node and edge facts of a reasoning result
+// back into the property graph (the inverse of ExtractFacts, used to store
+// the intensional component; Section 6). Facts whose OID is an existing node
+// OID update that node; facts with Skolem/null OIDs create fresh nodes, one
+// per distinct identifier. Edge facts are deduplicated against existing
+// edges with the same label, endpoints and properties.
+func Materialize(db *vadalog.Database, tr *Translation, cat *Catalog, g *pg.Graph) (MaterializeStats, error) {
+	var stats MaterializeStats
+	idMap := map[string]pg.OID{}
+
+	resolveNode := func(v value.Value, createLabels []string) (pg.OID, bool, error) {
+		if oid, ok := v.AsInt(); ok {
+			if g.Node(pg.OID(oid)) != nil {
+				return pg.OID(oid), false, nil
+			}
+			n, err := g.AddNodeWithID(pg.OID(oid), createLabels, nil)
+			if err != nil {
+				return 0, false, err
+			}
+			stats.NodesCreated++
+			return n.ID, true, nil
+		}
+		key := v.Canonical()
+		if oid, ok := idMap[key]; ok {
+			return oid, false, nil
+		}
+		n := g.AddNode(createLabels, pg.Props{"_derivedOID": value.Str(key)})
+		idMap[key] = n.ID
+		stats.NodesCreated++
+		return n.ID, true, nil
+	}
+
+	// Existing-edge fingerprints for deduplication.
+	edgeSeen := map[string]bool{}
+	edgeFingerprint := func(label string, from, to pg.OID, props pg.Props) string {
+		keys := make([]string, 0, len(props))
+		for k := range props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := fmt.Sprintf("%s|%d|%d", label, from, to)
+		for _, k := range keys {
+			s += "|" + k + "=" + props[k].Canonical()
+		}
+		return s
+	}
+	for _, e := range g.Edges() {
+		edgeSeen[edgeFingerprint(e.Label, e.From, e.To, e.Props)] = true
+	}
+
+	nodeLabels := sortedKeys(tr.HeadNodeLabels)
+	for _, label := range nodeLabels {
+		props := cat.NodeProps[label]
+		for _, f := range db.SortedFacts(label) {
+			oid, created, err := resolveNode(f[0], []string{label})
+			if err != nil {
+				return stats, err
+			}
+			if !created {
+				n := g.Node(oid)
+				if !n.HasLabel(label) {
+					if err := g.AddLabel(oid, label); err != nil {
+						return stats, err
+					}
+					stats.NodesLabeled++
+				}
+			}
+			n := g.Node(oid)
+			for i, pname := range props {
+				v := f[i+1]
+				if value.Equal(v, Missing) || v.IsZero() {
+					continue
+				}
+				if cur, ok := n.Props[pname]; !ok || !value.Equal(cur, v) {
+					n.Props[pname] = v
+					stats.PropsSet++
+				}
+			}
+		}
+	}
+
+	// Apply in-place node updates (mtv_set_<Label> shadow predicates).
+	updatePreds := make([]string, 0, len(tr.UpdateNodePreds))
+	for p := range tr.UpdateNodePreds {
+		updatePreds = append(updatePreds, p)
+	}
+	sort.Strings(updatePreds)
+	for _, pred := range updatePreds {
+		label := tr.UpdateNodePreds[pred]
+		props := cat.NodeProps[label]
+		for _, f := range db.SortedFacts(pred) {
+			oid, ok := f[0].AsInt()
+			if !ok || g.Node(pg.OID(oid)) == nil {
+				return stats, fmt.Errorf("metalog: update of %s refers to unknown node %s", label, f[0])
+			}
+			n := g.Node(pg.OID(oid))
+			for i, pname := range props {
+				v := f[i+1]
+				if value.Equal(v, Missing) || v.IsZero() {
+					continue
+				}
+				if cur, ok := n.Props[pname]; !ok || !value.Equal(cur, v) {
+					n.Props[pname] = v
+					stats.PropsSet++
+				}
+			}
+		}
+	}
+
+	edgeLabels := sortedKeys(tr.HeadEdgeLabels)
+	for _, label := range edgeLabels {
+		props := cat.EdgeProps[label]
+		for _, f := range db.SortedFacts(label) {
+			from, _, err := resolveNode(f[1], nil)
+			if err != nil {
+				return stats, err
+			}
+			to, _, err := resolveNode(f[2], nil)
+			if err != nil {
+				return stats, err
+			}
+			eprops := pg.Props{}
+			for i, pname := range props {
+				v := f[i+3]
+				if value.Equal(v, Missing) || v.IsZero() {
+					continue
+				}
+				eprops[pname] = v
+			}
+			fp := edgeFingerprint(label, from, to, eprops)
+			if edgeSeen[fp] {
+				continue
+			}
+			edgeSeen[fp] = true
+			if _, err := g.AddEdge(from, to, label, eprops); err != nil {
+				return stats, err
+			}
+			stats.EdgesCreated++
+		}
+	}
+	return stats, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,28 @@
+package metalog
+
+import "testing"
+
+// FuzzParse exercises the MetaLog parser for panics and round-trip
+// stability.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`(x: Business) -> (x) [c: CONTROLS] (x).`,
+		`(x: A) ([: R]- . [: S])* (y: B), v = sum(w, <z>), v > 0.5 -> (#sk(v): C; p: v).`,
+		`(x: A) (([: R] | [: S]))+ (y: B) -> (x) [e: D] (y).`,
+		`(x: A), not (x: B) -> (x: C).`,
+		`(x: A; p: "str", q: 1.5) -> (x: B).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := prog.String()
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printed form does not reparse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+	})
+}

@@ -1,0 +1,832 @@
+package metalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vadalog"
+	"repro/internal/value"
+)
+
+// The concrete MetaLog grammar:
+//
+//	program   := (rule | annotation)*
+//	rule      := body "->" head "."
+//	body      := bodyElem ("," bodyElem)*
+//	bodyElem  := "not" chain | chain | expr
+//	head      := chain ("," chain)*
+//	chain     := nodeAtom (pathExpr nodeAtom)*
+//	nodeAtom  := "(" [ident] [":" label] [";" props] ")"
+//	edgeAtom  := "[" [ident] [":" label] [";" props] "]" ["-"]
+//	pathExpr  := pathFactor+                        (juxtaposition = concat)
+//	pathFactor:= edgeAtom | "(" groupExpr ")" ["-"|"*"|"+"]
+//	groupExpr := groupSeq ("|" groupSeq)*
+//	groupSeq  := groupItem (["."] groupItem)*       ("." optional, as in the paper)
+//	groupItem := edgeAtom | "(" groupExpr ")" ["-"|"*"|"+"]
+//	ident     := VAR | "#" functor "(" VAR ("," VAR)* ")"
+//	props     := prop ("," prop)*
+//	prop      := NAME ":" (VAR | literal)
+//
+// The "." concatenation separator is accepted only inside parenthesized
+// groups, where it cannot collide with the rule terminator.
+
+type mtoken struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPunct
+)
+
+func lexMetaLog(src string) ([]mtoken, error) {
+	var toks []mtoken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, mtoken{tokIdent, src[start:i], line})
+		case c >= '0' && c <= '9':
+			start := i
+			i++
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i+1 < len(src) && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				i++
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			toks = append(toks, mtoken{tokNumber, src[start:i], line})
+		case c == '"':
+			start := i
+			i++
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					i++
+				}
+				if i < len(src) && src[i] == '\n' {
+					return nil, fmt.Errorf("line %d: unterminated string", line)
+				}
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated string", line)
+			}
+			i++
+			toks = append(toks, mtoken{tokString, src[start:i], line})
+		default:
+			matched := false
+			for _, op := range []string{"->", "!=", "<=", ">=", "=="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, mtoken{tokPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("()[]{};:,.<>=+-*/|#@", rune(c)) {
+				toks = append(toks, mtoken{tokPunct, string(c), line})
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, mtoken{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []mtoken
+	pos  int
+}
+
+// Parse parses a MetaLog program from its textual form.
+func Parse(src string) (*Program, error) {
+	toks, err := lexMetaLog(src)
+	if err != nil {
+		return nil, fmt.Errorf("metalog: %w", err)
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		if p.peek().kind == tokPunct && p.peek().text == "@" {
+			// Annotations share the Vadalog syntax exactly.
+			ann, err := p.parseAnnotation()
+			if err != nil {
+				return nil, fmt.Errorf("metalog: %w", err)
+			}
+			prog.Annotations = append(prog.Annotations, ann)
+			continue
+		}
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, fmt.Errorf("metalog: %w", err)
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// MustParse panics on syntax errors; it is used for the framework's embedded
+// mapping programs, where a failure indicates a bug.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) peek() mtoken { return p.toks[p.pos] }
+func (p *parser) peekAt(n int) mtoken {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return mtoken{kind: tokEOF}
+}
+func (p *parser) advance() mtoken {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) expect(text string) (mtoken, error) {
+	t := p.advance()
+	if t.kind != tokPunct || t.text != text {
+		return t, fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return t, nil
+}
+func (p *parser) at(text string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == text
+}
+
+func (p *parser) parseAnnotation() (vadalog.Annotation, error) {
+	if _, err := p.expect("@"); err != nil {
+		return vadalog.Annotation{}, err
+	}
+	name := p.advance()
+	if name.kind != tokIdent {
+		return vadalog.Annotation{}, fmt.Errorf("line %d: expected annotation name", name.line)
+	}
+	ann := vadalog.Annotation{Name: name.text, Line: name.line}
+	if _, err := p.expect("("); err != nil {
+		return vadalog.Annotation{}, err
+	}
+	for {
+		t := p.advance()
+		switch t.kind {
+		case tokString:
+			s, err := strconv.Unquote(t.text)
+			if err != nil {
+				return vadalog.Annotation{}, fmt.Errorf("line %d: bad string %s", t.line, t.text)
+			}
+			ann.Args = append(ann.Args, s)
+		case tokIdent, tokNumber:
+			ann.Args = append(ann.Args, t.text)
+		default:
+			return vadalog.Annotation{}, fmt.Errorf("line %d: expected annotation argument, got %q", t.line, t.text)
+		}
+		t = p.advance()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			break
+		}
+		return vadalog.Annotation{}, fmt.Errorf("line %d: expected , or ) in annotation", t.line)
+	}
+	if _, err := p.expect("."); err != nil {
+		return vadalog.Annotation{}, err
+	}
+	return ann, nil
+}
+
+func (p *parser) parseRule() (Rule, error) {
+	line := p.peek().line
+	r := Rule{Line: line}
+	for {
+		elem, err := p.parseBodyElem()
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Body = append(r.Body, elem)
+		if p.at(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect("->"); err != nil {
+		return Rule{}, err
+	}
+	for {
+		ch, err := p.parseChain()
+		if err != nil {
+			return Rule{}, err
+		}
+		if err := validateHeadChain(ch, line); err != nil {
+			return Rule{}, err
+		}
+		r.Head = append(r.Head, ch)
+		if p.at(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect("."); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// validateHeadChain enforces that head path patterns are single edge steps:
+// heads construct nodes and edges, they do not navigate.
+func validateHeadChain(ch Chain, line int) error {
+	for _, pe := range ch.Paths {
+		st, ok := pe.(Step)
+		if !ok {
+			return fmt.Errorf("line %d: head path patterns must be single edge atoms, got %s", line, pe)
+		}
+		if st.Edge.Inverse {
+			return fmt.Errorf("line %d: head edge atoms cannot be inverted", line)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseBodyElem() (BodyElem, error) {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == "not" && p.peekAt(1).kind == tokPunct && p.peekAt(1).text == "(" {
+		p.advance()
+		ch, err := p.parseChain()
+		if err != nil {
+			return BodyElem{}, err
+		}
+		if len(ch.Paths) > 1 {
+			return BodyElem{}, fmt.Errorf("line %d: negated patterns must be a single node atom or edge step", t.line)
+		}
+		return BodyElem{Kind: BodyNegChain, Chain: ch}, nil
+	}
+	if t.kind == tokPunct && t.text == "(" {
+		// Could be a node atom or a parenthesized expression; try the node
+		// atom first and backtrack on failure.
+		save := p.pos
+		ch, err := p.parseChain()
+		if err == nil {
+			return BodyElem{Kind: BodyChain, Chain: ch}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return BodyElem{}, err
+	}
+	return BodyElem{Kind: BodyExpr, Expr: e}, nil
+}
+
+// parseChain parses nodeAtom (pathExpr nodeAtom)*.
+func (p *parser) parseChain() (Chain, error) {
+	n0, err := p.parseNodeAtom()
+	if err != nil {
+		return Chain{}, err
+	}
+	ch := Chain{Nodes: []NodeAtom{n0}}
+	for {
+		// A path factor begins with "[" or with "(" that opens a group; the
+		// latter is distinguished from a following node atom by attempting
+		// the path parse with backtracking.
+		if p.at("[") {
+			pe, err := p.parsePathExpr()
+			if err != nil {
+				return Chain{}, err
+			}
+			n, err := p.parseNodeAtom()
+			if err != nil {
+				return Chain{}, err
+			}
+			ch.Paths = append(ch.Paths, pe)
+			ch.Nodes = append(ch.Nodes, n)
+			continue
+		}
+		if p.at("(") {
+			save := p.pos
+			pe, err := p.parsePathExpr()
+			if err == nil {
+				n, nerr := p.parseNodeAtom()
+				if nerr == nil {
+					ch.Paths = append(ch.Paths, pe)
+					ch.Nodes = append(ch.Nodes, n)
+					continue
+				}
+			}
+			p.pos = save
+		}
+		return ch, nil
+	}
+}
+
+// parsePathExpr parses one or more juxtaposed path factors (top level).
+func (p *parser) parsePathExpr() (PathExpr, error) {
+	var parts []PathExpr
+	for {
+		if p.at("[") {
+			e, err := p.parseEdgeAtom()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, Step{Edge: e})
+		} else if p.at("(") {
+			// A group is only a path group if it starts a group expression,
+			// not a node atom; try and backtrack.
+			save := p.pos
+			g, err := p.parseGroup()
+			if err != nil {
+				p.pos = save
+				break
+			}
+			parts = append(parts, g)
+		} else {
+			break
+		}
+		if len(parts) > 0 && !p.at("[") && !p.at("(") {
+			break
+		}
+		// A "(" here might open the next node atom rather than another
+		// factor; peek inside: a group starts with "[" or "(".
+		if p.at("(") {
+			inner := p.peekAt(1)
+			if !(inner.kind == tokPunct && (inner.text == "[" || inner.text == "(")) {
+				break
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("line %d: expected path expression", p.peek().line)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+// parseGroup parses "(" groupExpr ")" with optional postfix "-", "*", "+".
+func (p *parser) parseGroup() (PathExpr, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseGroupExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at("*"):
+			p.advance()
+			inner = Repeat{Inner: inner, Plus: false}
+		case p.at("+"):
+			p.advance()
+			inner = Repeat{Inner: inner, Plus: true}
+		case p.at("-"):
+			// Postfix "-" after a group is inversion only when not followed
+			// by a term (which would make it binary minus); inside path
+			// context this is unambiguous.
+			p.advance()
+			inner = Inv{Inner: inner}
+		default:
+			return inner, nil
+		}
+	}
+}
+
+// parseGroupExpr parses alternation of sequences inside a group; "." is an
+// optional concatenation separator here, as in the paper's notation.
+func (p *parser) parseGroupExpr() (PathExpr, error) {
+	var branches []PathExpr
+	for {
+		seq, err := p.parseGroupSeq()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, seq)
+		if p.at("|") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if len(branches) == 1 {
+		return branches[0], nil
+	}
+	return Alt{Branches: branches}, nil
+}
+
+func (p *parser) parseGroupSeq() (PathExpr, error) {
+	var parts []PathExpr
+	for {
+		if p.at(".") {
+			p.advance()
+			continue
+		}
+		if p.at("[") {
+			e, err := p.parseEdgeAtom()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, Step{Edge: e})
+			continue
+		}
+		if p.at("(") {
+			g, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, g)
+			continue
+		}
+		break
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("line %d: empty path group", p.peek().line)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+func (p *parser) parseNodeAtom() (NodeAtom, error) {
+	if _, err := p.expect("("); err != nil {
+		return NodeAtom{}, err
+	}
+	n := NodeAtom{}
+	var err error
+	n.ID, n.Label, n.Props, err = p.parseAtomInner(")")
+	if err != nil {
+		return NodeAtom{}, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseEdgeAtom() (EdgeAtom, error) {
+	if _, err := p.expect("["); err != nil {
+		return EdgeAtom{}, err
+	}
+	e := EdgeAtom{}
+	var err error
+	e.ID, e.Label, e.Props, err = p.parseAtomInner("]")
+	if err != nil {
+		return EdgeAtom{}, err
+	}
+	if p.at("-") {
+		// Inversion only if the "-" is not the start of an arithmetic
+		// expression; after "]" in path position it always is inversion.
+		p.advance()
+		e.Inverse = true
+	}
+	return e, nil
+}
+
+// parseAtomInner parses [ident] [":" label] [";" props] up to the closing
+// delimiter.
+func (p *parser) parseAtomInner(closer string) (Ident, string, []PropBinding, error) {
+	var id Ident
+	var label string
+	var props []PropBinding
+
+	// Identifier (variable or Skolem) if present.
+	if p.peek().kind == tokIdent {
+		id.Var = p.advance().text
+	} else if p.at("#") {
+		p.advance()
+		fn := p.advance()
+		if fn.kind != tokIdent {
+			return id, "", nil, fmt.Errorf("line %d: expected Skolem functor name", fn.line)
+		}
+		id.Functor = fn.text
+		if _, err := p.expect("("); err != nil {
+			return id, "", nil, err
+		}
+		for {
+			v := p.advance()
+			if v.kind != tokIdent {
+				return id, "", nil, fmt.Errorf("line %d: Skolem arguments must be variables", v.line)
+			}
+			id.SkArgs = append(id.SkArgs, v.text)
+			t := p.advance()
+			if t.kind == tokPunct && t.text == "," {
+				continue
+			}
+			if t.kind == tokPunct && t.text == ")" {
+				break
+			}
+			return id, "", nil, fmt.Errorf("line %d: expected , or ) in Skolem term", t.line)
+		}
+	}
+
+	if p.at(":") {
+		p.advance()
+		lt := p.advance()
+		if lt.kind != tokIdent {
+			return id, "", nil, fmt.Errorf("line %d: expected label after :, got %q", lt.line, lt.text)
+		}
+		label = lt.text
+	}
+
+	if p.at(";") {
+		p.advance()
+		for {
+			name := p.advance()
+			if name.kind != tokIdent {
+				return id, "", nil, fmt.Errorf("line %d: expected property name, got %q", name.line, name.text)
+			}
+			if _, err := p.expect(":"); err != nil {
+				return id, "", nil, err
+			}
+			pb := PropBinding{Name: name.text}
+			t := p.advance()
+			switch t.kind {
+			case tokIdent:
+				switch t.text {
+				case "true":
+					pb.IsConst, pb.Const = true, value.BoolV(true)
+				case "false":
+					pb.IsConst, pb.Const = true, value.BoolV(false)
+				default:
+					pb.Var = t.text
+				}
+			case tokString:
+				s, err := strconv.Unquote(t.text)
+				if err != nil {
+					return id, "", nil, fmt.Errorf("line %d: bad string %s", t.line, t.text)
+				}
+				pb.IsConst, pb.Const = true, value.Str(s)
+			case tokNumber:
+				v, err := value.ParseLiteral(t.text)
+				if err != nil {
+					return id, "", nil, fmt.Errorf("line %d: %v", t.line, err)
+				}
+				pb.IsConst, pb.Const = true, v
+			case tokPunct:
+				if t.text == "-" {
+					num := p.advance()
+					if num.kind != tokNumber {
+						return id, "", nil, fmt.Errorf("line %d: expected number after -", num.line)
+					}
+					v, err := value.ParseLiteral("-" + num.text)
+					if err != nil {
+						return id, "", nil, fmt.Errorf("line %d: %v", num.line, err)
+					}
+					pb.IsConst, pb.Const = true, v
+					break
+				}
+				return id, "", nil, fmt.Errorf("line %d: expected property value, got %q", t.line, t.text)
+			default:
+				return id, "", nil, fmt.Errorf("line %d: expected property value", t.line)
+			}
+			props = append(props, pb)
+			t = p.peek()
+			if t.kind == tokPunct && t.text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(closer); err != nil {
+		return id, "", nil, err
+	}
+	return id, label, props, nil
+}
+
+// Expression parsing mirrors the Vadalog expression grammar, producing
+// vadalog.Expr nodes directly so MTV can reuse them unchanged.
+
+var binaryPrec = map[string]int{
+	"or": 1, "and": 2,
+	"=": 3, "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5,
+}
+
+var aggregateOps = map[string]string{
+	"sum": "sum", "count": "count", "min": "min", "max": "max",
+	"avg": "avg", "prod": "prod", "pack": "pack",
+	"msum": "sum", "mcount": "count", "mmin": "min", "mmax": "max", "mprod": "prod",
+}
+
+func (p *parser) parseExpr(minPrec int) (*vadalog.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op string
+		if t.kind == tokPunct {
+			op = t.text
+		} else if t.kind == tokIdent && (t.text == "and" || t.text == "or") {
+			op = t.text
+		} else {
+			return left, nil
+		}
+		prec, ok := binaryPrec[op]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &vadalog.Expr{Kind: vadalog.ExprBinary, Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (*vadalog.Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == "-" {
+		p.advance()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &vadalog.Expr{Kind: vadalog.ExprUnary, Op: "-", Left: operand}, nil
+	}
+	if t.kind == tokIdent && t.text == "not" {
+		p.advance()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &vadalog.Expr{Kind: vadalog.ExprUnary, Op: "not", Left: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*vadalog.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokString:
+		p.advance()
+		s, err := strconv.Unquote(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad string %s", t.line, t.text)
+		}
+		return &vadalog.Expr{Kind: vadalog.ExprConst, Val: value.Str(s)}, nil
+	case t.kind == tokNumber:
+		p.advance()
+		v, err := value.ParseLiteral(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", t.line, err)
+		}
+		return &vadalog.Expr{Kind: vadalog.ExprConst, Val: v}, nil
+	case t.kind == tokIdent:
+		switch t.text {
+		case "true":
+			p.advance()
+			return &vadalog.Expr{Kind: vadalog.ExprConst, Val: value.BoolV(true)}, nil
+		case "false":
+			p.advance()
+			return &vadalog.Expr{Kind: vadalog.ExprConst, Val: value.BoolV(false)}, nil
+		}
+		if p.peekAt(1).kind == tokPunct && p.peekAt(1).text == "(" {
+			return p.parseCallOrAggregate()
+		}
+		p.advance()
+		return &vadalog.Expr{Kind: vadalog.ExprVar, Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("line %d: expected expression, got %q", t.line, t.text)
+	}
+}
+
+func (p *parser) parseCallOrAggregate() (*vadalog.Expr, error) {
+	name := p.advance()
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	canonical, isAgg := aggregateOps[name.text]
+	if isAgg {
+		return p.parseAggregate(name, canonical)
+	}
+	call := &vadalog.Expr{Kind: vadalog.ExprCall, Name: name.text}
+	if p.at(")") {
+		p.advance()
+		return call, nil
+	}
+	for {
+		arg, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		t := p.advance()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			return call, nil
+		}
+		return nil, fmt.Errorf("line %d: expected , or ) in call", t.line)
+	}
+}
+
+func (p *parser) parseAggregate(name mtoken, canonical string) (*vadalog.Expr, error) {
+	agg := &vadalog.Aggregate{Op: canonical}
+	for {
+		if p.at(")") {
+			p.advance()
+			break
+		}
+		if p.at("<") {
+			p.advance()
+			for {
+				v := p.advance()
+				if v.kind != tokIdent {
+					return nil, fmt.Errorf("line %d: expected contributor variable", v.line)
+				}
+				agg.Contributors = append(agg.Contributors, v.text)
+				sep := p.advance()
+				if sep.kind == tokPunct && sep.text == "," {
+					continue
+				}
+				if sep.kind == tokPunct && sep.text == ">" {
+					break
+				}
+				return nil, fmt.Errorf("line %d: expected , or > in contributor list", sep.line)
+			}
+			continue
+		}
+		arg, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if agg.Arg == nil {
+			agg.Arg = arg
+		} else if agg.Arg2 == nil {
+			agg.Arg2 = arg
+		} else {
+			return nil, fmt.Errorf("line %d: aggregate %s has too many arguments", name.line, name.text)
+		}
+		if p.at(",") {
+			p.advance()
+		}
+	}
+	if strings.HasPrefix(name.text, "m") && name.text != "min" && name.text != "max" && len(agg.Contributors) == 0 {
+		return nil, fmt.Errorf("line %d: monotonic aggregate %s requires contributors", name.line, name.text)
+	}
+	return &vadalog.Expr{Kind: vadalog.ExprAggregate, Agg: agg}, nil
+}

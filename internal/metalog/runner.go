@@ -1,0 +1,79 @@
+package metalog
+
+import (
+	"time"
+
+	"repro/internal/pg"
+	"repro/internal/vadalog"
+)
+
+// ReasonResult is the outcome of running a MetaLog program over a property
+// graph end to end: translation, loading, reasoning and flushing. The phase
+// durations reproduce the breakdown discussed in Section 6 of the paper
+// (loading and flushing vs. the reasoning task proper).
+type ReasonResult struct {
+	Translation *Translation
+	Catalog     *Catalog
+	DB          *vadalog.Database
+	// Run is the underlying engine result; with vadalog.Options.Provenance
+	// set, Run.Explain reconstructs proof trees for derived facts.
+	Run         *vadalog.Result
+	Materialize MaterializeStats
+	RunStats    vadalog.RunStats
+
+	LoadDuration   time.Duration // ExtractFacts (the paper's "loading")
+	ReasonDuration time.Duration // the Vadalog fixpoint
+	FlushDuration  time.Duration // Materialize (the paper's "flushing")
+}
+
+// Reason compiles and runs a MetaLog program over the graph, materializing
+// the derived nodes and edges back into it. The graph's own labels and
+// properties seed the catalog; the program may extend it with intensional
+// labels.
+func Reason(prog *Program, g *pg.Graph, opts vadalog.Options) (*ReasonResult, error) {
+	cat := FromGraph(g)
+	return ReasonWithCatalog(prog, g, cat, opts)
+}
+
+// ReasonWithCatalog is Reason with a caller-provided catalog, used when the
+// property layout comes from a designed schema rather than from instance
+// inference.
+func ReasonWithCatalog(prog *Program, g *pg.Graph, cat *Catalog, opts vadalog.Options) (*ReasonResult, error) {
+	tr, err := Translate(prog, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	loadStart := time.Now()
+	db, err := ExtractFacts(g, cat)
+	if err != nil {
+		return nil, err
+	}
+	loadDur := time.Since(loadStart)
+
+	reasonStart := time.Now()
+	res, err := vadalog.RunInPlace(tr.Program, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	reasonDur := time.Since(reasonStart)
+
+	flushStart := time.Now()
+	mst, err := Materialize(res.DB, tr, cat, g)
+	if err != nil {
+		return nil, err
+	}
+	flushDur := time.Since(flushStart)
+
+	return &ReasonResult{
+		Translation:    tr,
+		Catalog:        cat,
+		DB:             res.DB,
+		Run:            res,
+		Materialize:    mst,
+		RunStats:       res.Stats,
+		LoadDuration:   loadDur,
+		ReasonDuration: reasonDur,
+		FlushDuration:  flushDur,
+	}, nil
+}

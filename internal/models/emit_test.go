@@ -1,0 +1,98 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/supermodel"
+)
+
+func TestEmitSQLFromFigure8(t *testing.T) {
+	res := translateCompanyKG(t, "relational", "")
+	view, err := ReadRelationalSchema(res.Dict, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := EmitSQL(view)
+	for _, want := range []string{
+		`CREATE TABLE "Business"`,
+		`CREATE TABLE "HOLDS"`,
+		`CREATE TABLE "CONTROLS"`,
+		`"fiscalCode" TEXT NOT NULL`,
+		`PRIMARY KEY ("fiscalCode")`,
+		`FOREIGN KEY ("fiscalCode") REFERENCES "LegalPerson" ("fiscalCode")`,
+		`CONSTRAINT "BELONGS_TO" FOREIGN KEY ("belongs_to_fiscalCode") REFERENCES "Business" ("fiscalCode")`,
+		"-- CONTROLS is intensional",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	// Junction tables reference both endpoints.
+	if !strings.Contains(ddl, `CONSTRAINT "FK_HOLDS_SRC"`) || !strings.Contains(ddl, `CONSTRAINT "FK_HOLDS_DST"`) {
+		t.Errorf("HOLDS junction foreign keys missing:\n%s", ddl)
+	}
+}
+
+func TestEmitPGConstraintsFromFigure6(t *testing.T) {
+	res := translateCompanyKG(t, "pg", "multi-label")
+	view, err := ReadPGSchema(res.Dict, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := EmitPGConstraints(view)
+	for _, want := range []string{
+		"ASSERT n.fiscalCode IS UNIQUE",
+		"ASSERT exists(n.businessName)",
+		"[:CONTROLS]->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PG constraints missing %q:\n%s", want, out)
+		}
+	}
+	// Optional properties must not get existence constraints.
+	if strings.Contains(out, "exists(n.birthDate)") {
+		t.Errorf("optional property must not be required:\n%s", out)
+	}
+	// Intensional properties must not get existence constraints either.
+	if strings.Contains(out, "exists(n.numberOfStakeholders)") {
+		t.Errorf("intensional property must not be required:\n%s", out)
+	}
+}
+
+func TestEmitRDFS(t *testing.T) {
+	s := supermodel.CompanyKG()
+	out := EmitRDFS(s)
+	for _, want := range []string{
+		"kg:Person a rdfs:Class .",
+		"kg:Business rdfs:subClassOf kg:LegalPerson .",
+		"kg:CONTROLS a rdf:Property ; rdfs:domain kg:Person ; rdfs:range kg:Business .",
+		"rdfs:range xsd:date",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RDF-S missing %q", want)
+		}
+	}
+}
+
+func TestEmitCSVLayout(t *testing.T) {
+	s := supermodel.CompanyKG()
+	out := EmitCSVLayout(s)
+	if !strings.Contains(out, "business.csv: _oid,shareholdingCapital,numberOfStakeholders,businessName,legalNature,website,fiscalCode") {
+		t.Errorf("business.csv layout wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "holds.csv: _oid,_from,_to,right,percentage") {
+		t.Errorf("holds.csv layout wrong:\n%s", out)
+	}
+}
+
+func TestSQLTypeMapping(t *testing.T) {
+	for dt, want := range map[string]string{
+		"int": "BIGINT", "float": "DOUBLE PRECISION", "bool": "BOOLEAN",
+		"date": "DATE", "string": "TEXT", "unknown": "TEXT",
+	} {
+		if got := sqlType(dt); got != want {
+			t.Errorf("sqlType(%q) = %q, want %q", dt, got, want)
+		}
+	}
+}

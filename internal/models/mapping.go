@@ -1,0 +1,461 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mapping is one entry of the KGModel mapping repository: the MetaLog
+// programs implementing the translation of a super-schema into a schema of a
+// target model (Section 5.1). Eliminate rewrites the source super-schema
+// (SourceOID) into the intermediate super-schema S⁻ (MidOID) using only
+// constructs the target model supports; Copy downcasts S⁻ into the target
+// schema S′ (TargetOID) by renaming super-constructs into model constructs.
+type Mapping struct {
+	Model       string
+	Strategy    string
+	Description string
+
+	SourceOID, MidOID, TargetOID int64
+
+	Eliminate string // MetaLog source
+	Copy      string // MetaLog source
+}
+
+// Repo returns the candidate mappings of the repository for the given OIDs
+// (Algorithm 1, line 1: "select candidate mappings to M from REPO").
+func Repo(src, mid, dst int64) []Mapping {
+	return []Mapping{
+		PGMapping(src, mid, dst, "multi-label"),
+		PGMapping(src, mid, dst, "child-edges"),
+		RelationalMapping(src, mid, dst, "table-per-class"),
+	}
+}
+
+// SelectMapping picks a mapping from the repository by model and
+// implementation strategy (Algorithm 1, line 2: the engineer "refines the
+// choice on the basis of the desired implementation strategy"). An empty
+// strategy selects the model's first (default) entry.
+func SelectMapping(src, mid, dst int64, model, strategy string) (Mapping, error) {
+	var candidates []Mapping
+	for _, m := range Repo(src, mid, dst) {
+		if m.Model == model {
+			candidates = append(candidates, m)
+		}
+	}
+	if len(candidates) == 0 {
+		return Mapping{}, fmt.Errorf("models: no mapping for model %q in repository", model)
+	}
+	if strategy == "" {
+		return candidates[0], nil
+	}
+	for _, m := range candidates {
+		if m.Strategy == strategy {
+			return m, nil
+		}
+	}
+	var known []string
+	for _, m := range candidates {
+		known = append(known, m.Strategy)
+	}
+	return Mapping{}, fmt.Errorf("models: model %q has no strategy %q (have %s)", model, strategy, strings.Join(known, ", "))
+}
+
+// modifierKinds are the attribute-modifier super-constructs whose copy rules
+// are generated per kind (MetaLog atoms are label-specific).
+var modifierKinds = []string{
+	"SM_UniqueAttributeModifier",
+	"SM_EnumAttributeModifier",
+	"SM_RangeAttributeModifier",
+	"SM_DefaultAttributeModifier",
+}
+
+// PGMapping builds M(PG), the mapping to the property-graph model of
+// Section 5.2. Two implementation strategies are offered, as discussed in
+// the paper (Algorithm 1): "multi-label", where generalizations are
+// eliminated by tagging nodes with every ancestor type and inheriting
+// attributes and edges down the hierarchy, and "child-edges", where each
+// generalization becomes an explicit IS_A relationship.
+func PGMapping(src, mid, dst int64, strategy string) Mapping {
+	m := Mapping{
+		Model:     "pg",
+		Strategy:  strategy,
+		SourceOID: src, MidOID: mid, TargetOID: dst,
+	}
+	switch strategy {
+	case "child-edges":
+		m.Description = "generalizations become IS_A relationships"
+		m.Eliminate = pgEliminateChildEdges(src, mid)
+	default:
+		m.Strategy = "multi-label"
+		m.Description = "generalizations eliminated via multi-label tagging and inheritance"
+		m.Eliminate = pgEliminateMultiLabel(src, mid)
+	}
+	m.Copy = pgCopy(mid, dst)
+	return m
+}
+
+// pgEliminateMultiLabel implements Eliminate.CopyNodes, Eliminate.CopyEdges,
+// Eliminate.CopyAttributes and Eliminate.DeleteGeneralizations(1)-(4) of
+// Section 5.2. Rule numbering follows the paper; the ancestor traversal uses
+// the ([:SM_CHILD]- . [:SM_PARENT]) pattern of Example 5.1, with "*"
+// covering the node itself and "+" proper ancestors/descendants.
+func pgEliminateMultiLabel(src, mid int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+%% Eliminate.CopyNodes — SM_Nodes of S are copied into new SM_Nodes of S-.
+(n: SM_Node; schemaOID: %[1]d, isIntensional: i)
+  -> (#elimN(n): SM_Node; schemaOID: %[2]d, isIntensional: i).
+
+%% Eliminate.DeleteGeneralizations(1) — each node accumulates its own type
+%% and the types of all its ancestors (Example 5.1).
+(n: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])* (a: SM_Node; schemaOID: %[1]d)
+    [: SM_HAS_NODE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#elimN(n)) [#elimHT(n, t): SM_HAS_NODE_TYPE]
+     (#elimT(n, t): SM_Type; schemaOID: %[2]d, name: w).
+
+%% Eliminate.DeleteGeneralizations(2) — attributes are inherited down to
+%% every descendant (c ranges over the node itself and its descendants).
+(n: SM_Node; schemaOID: %[1]d)
+    [: SM_HAS_NODE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o, isId: d),
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])* (n)
+  -> (#elimN(c)) [#elimHP(a, c): SM_HAS_NODE_PROPERTY; isIntensional: ii]
+     (#elimA(a, c): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+%% Eliminate.DeleteGeneralizations(3) — outgoing edges are inherited by
+%% every descendant of the source (including the source itself: the c = n
+%% case is the plain Eliminate.CopyEdges copy).
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])* (n: SM_Node; schemaOID: %[1]d)
+    [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isOpt1: o1, isFun1: f1, isOpt2: o2, isFun2: f2)
+    [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#elimEO(e, c): SM_Edge; schemaOID: %[2]d, isIntensional: i, isOpt1: o1, isFun1: f1, isOpt2: o2, isFun2: f2),
+     (#elimEO(e, c)) [#elimEOF(e, c): SM_FROM] (#elimN(c)),
+     (#elimEO(e, c)) [#elimEOT(e, c): SM_TO] (#elimN(m)),
+     (#elimEO(e, c)) [#elimEOHT(e, c): SM_HAS_EDGE_TYPE] (#elimEOTY(e, c): SM_Type; schemaOID: %[2]d, name: w).
+
+%% Eliminate.DeleteGeneralizations(3') — incoming edges are inherited by
+%% every proper descendant of the target.
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])+ (n: SM_Node; schemaOID: %[1]d)
+    [: SM_TO]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isOpt1: o1, isFun1: f1, isOpt2: o2, isFun2: f2)
+    [: SM_FROM] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#elimEI(e, c): SM_Edge; schemaOID: %[2]d, isIntensional: i, isOpt1: o1, isFun1: f1, isOpt2: o2, isFun2: f2),
+     (#elimEI(e, c)) [#elimEIF(e, c): SM_FROM] (#elimN(m)),
+     (#elimEI(e, c)) [#elimEIT(e, c): SM_TO] (#elimN(c)),
+     (#elimEI(e, c)) [#elimEIHT(e, c): SM_HAS_EDGE_TYPE] (#elimEITY(e, c): SM_Type; schemaOID: %[2]d, name: w).
+
+%% Eliminate.DeleteGeneralizations(4) — the SM_Attributes of an inherited
+%% edge are copied and linked to each new edge (outgoing and incoming
+%% variants).
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])* (n: SM_Node; schemaOID: %[1]d)
+    [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d)
+    [: SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#elimEO(e, c)) [#elimEOHP(a, c): SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+     (#elimEOA(a, c): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])+ (n: SM_Node; schemaOID: %[1]d)
+    [: SM_TO]- (e: SM_Edge; schemaOID: %[1]d)
+    [: SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#elimEI(e, c)) [#elimEIHP(a, c): SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+     (#elimEIA(a, c): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+`, src, mid)
+
+	// Eliminate.CopyUniqueAttributeModifier (and the other modifier kinds):
+	// node-attribute modifiers follow their attribute down the hierarchy.
+	for _, kind := range modifierKinds {
+		fmt.Fprintf(&b, `
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d)
+    [: SM_HAS_MODIFIER] (m: %[3]s; schemaOID: %[1]d, payload: p),
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])* (n)
+  -> (#elimA(a, c)) [#elimHM(m, c): SM_HAS_MODIFIER] (#elimM(m, c): %[3]s; schemaOID: %[2]d, payload: p).
+`, src, mid, kind)
+	}
+	return b.String()
+}
+
+// pgEliminateChildEdges is the alternative implementation strategy: nodes,
+// types, attributes and edges are copied as-is, and every generalization
+// becomes an explicit IS_A SM_Edge from child to parent.
+func pgEliminateChildEdges(src, mid int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+%% Eliminate.CopyNodes and own types only (no inheritance).
+(n: SM_Node; schemaOID: %[1]d, isIntensional: i)
+  -> (#elimN(n): SM_Node; schemaOID: %[2]d, isIntensional: i).
+
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#elimN(n)) [#elimHT(n, t): SM_HAS_NODE_TYPE] (#elimT(n, t): SM_Type; schemaOID: %[2]d, name: w).
+
+%% Eliminate.CopyAttributes (own attributes only).
+(n: SM_Node; schemaOID: %[1]d)
+    [: SM_HAS_NODE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#elimN(n)) [#elimHP(a, n): SM_HAS_NODE_PROPERTY; isIntensional: ii]
+     (#elimA(a, n): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+%% Eliminate.CopyEdges (as declared, no inheritance).
+(n: SM_Node; schemaOID: %[1]d) [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isOpt1: o1, isFun1: f1, isOpt2: o2, isFun2: f2) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#elimE(e): SM_Edge; schemaOID: %[2]d, isIntensional: i, isOpt1: o1, isFun1: f1, isOpt2: o2, isFun2: f2),
+     (#elimE(e)) [#elimEF(e): SM_FROM] (#elimN(n)),
+     (#elimE(e)) [#elimET(e): SM_TO] (#elimN(m)),
+     (#elimE(e)) [#elimEHT(e): SM_HAS_EDGE_TYPE] (#elimETY(e): SM_Type; schemaOID: %[2]d, name: w).
+
+(e: SM_Edge; schemaOID: %[1]d)
+    [: SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#elimE(e)) [#elimEHP(a): SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+     (#elimEA(a): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+%% Eliminate.DeleteGeneralizations — each (parent, child) pair becomes an
+%% IS_A SM_Edge from the child copy to the parent copy.
+(g: SM_Generalization; schemaOID: %[1]d) [: SM_PARENT] (p: SM_Node; schemaOID: %[1]d),
+(g) [: SM_CHILD] (c: SM_Node; schemaOID: %[1]d),
+(c) [: SM_HAS_NODE_TYPE] (ct: SM_Type; schemaOID: %[1]d, name: cn),
+(p) [: SM_HAS_NODE_TYPE] (pt: SM_Type; schemaOID: %[1]d, name: pn),
+nm = concat("IS_A_", cn, "_", pn)
+  -> (#elimISA(g, c): SM_Edge; schemaOID: %[2]d, isIntensional: false, isOpt1: false, isFun1: true, isOpt2: true, isFun2: false),
+     (#elimISA(g, c)) [#elimISAF(g, c): SM_FROM] (#elimN(c)),
+     (#elimISA(g, c)) [#elimISAT(g, c): SM_TO] (#elimN(p)),
+     (#elimISA(g, c)) [#elimISAHT(g, c): SM_HAS_EDGE_TYPE] (#elimISATY(g, c): SM_Type; schemaOID: %[2]d, name: nm).
+`, src, mid)
+	for _, kind := range modifierKinds {
+		fmt.Fprintf(&b, `
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d)
+    [: SM_HAS_MODIFIER] (m: %[3]s; schemaOID: %[1]d, payload: p)
+  -> (#elimA(a, n)) [#elimHM(m, n): SM_HAS_MODIFIER] (#elimM(m, n): %[3]s; schemaOID: %[2]d, payload: p).
+`, src, mid, kind)
+	}
+	return b.String()
+}
+
+// pgCopy implements the Copy phase of M(PG): StoreNodes,
+// StoreRelationships, StoreProperties and StoreUniquePropertyModifiers
+// (Section 5.2), downcasting S⁻ super-constructs into the Figure 5 model
+// constructs. Modifiers other than uniqueness are not supported by the PG
+// model and are therefore dropped here — the "elimination of constructs of
+// the super-model that are not supported by the specific target model".
+func pgCopy(mid, dst int64) string {
+	return fmt.Sprintf(`
+%% Copy.StoreNodes.
+(n: SM_Node; schemaOID: %[1]d, isIntensional: i)
+  -> (#copyN(n): Node; schemaOID: %[2]d, isIntensional: i).
+
+%% Copy.StoreNodes — label tags.
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_TYPE] (t: SM_Type; name: w)
+  -> (#copyN(n)) [#copyHL(t): HAS_LABEL] (#copyL(t): Label; schemaOID: %[2]d, name: w).
+
+%% Copy.StoreRelationships.
+(e: SM_Edge; schemaOID: %[1]d, isIntensional: i) [: SM_HAS_EDGE_TYPE] (t: SM_Type; name: w)
+  -> (#copyR(e): Relationship; schemaOID: %[2]d, isIntensional: i, name: w).
+
+(e: SM_Edge; schemaOID: %[1]d) [: SM_FROM] (n)
+  -> (#copyR(e)) [#copyRF(e): R_FROM] (#copyN(n)).
+
+(e: SM_Edge; schemaOID: %[1]d) [: SM_TO] (n)
+  -> (#copyR(e)) [#copyRT(e): R_TO] (#copyN(n)).
+
+%% Copy.StoreProperties (node and relationship properties).
+(n: SM_Node; schemaOID: %[1]d)
+    [: SM_HAS_NODE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#copyN(n)) [#copyHP(a): HAS_PROPERTY; isIntensional: ii]
+     (#copyP(a): Property; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+(e: SM_Edge; schemaOID: %[1]d)
+    [: SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#copyR(e)) [#copyRHP(a): R_HAS_PROPERTY; isIntensional: ii]
+     (#copyRP(a): Property; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+%% Copy.StoreUniquePropertyModifiers — the only modifier the PG model
+%% supports.
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute)
+    [: SM_HAS_MODIFIER] (m: SM_UniqueAttributeModifier; payload: p)
+  -> (#copyP(a)) [#copyHM(m): HAS_MODIFIER] (#copyM(m): UniquePropertyModifier; schemaOID: %[2]d, payload: p).
+`, mid, dst)
+}
+
+// RelationalMapping builds M(relational) of Section 5.3 with the
+// table-per-class strategy the paper adopts: "a relation for each
+// generalization member, connecting each child relation to the respective
+// parent relation via foreign keys". Many-to-many edges are replaced by
+// junction predicates with two foreign keys; functional edges become
+// foreign keys directly; identifying attributes are inherited down so every
+// child relation carries its primary key.
+func RelationalMapping(src, mid, dst int64, strategy string) Mapping {
+	return Mapping{
+		Model:       "relational",
+		Strategy:    "table-per-class",
+		Description: "generalizations as child-to-parent foreign keys; N:M edges as junction relations",
+		SourceOID:   src, MidOID: mid, TargetOID: dst,
+		Eliminate: relationalEliminate(src, mid),
+		Copy:      relationalCopy(mid, dst),
+	}
+}
+
+func relationalEliminate(src, mid int64) string {
+	return fmt.Sprintf(`
+%% Eliminate.CopyNodes.
+(n: SM_Node; schemaOID: %[1]d, isIntensional: i)
+  -> (#relN(n): SM_Node; schemaOID: %[2]d, isIntensional: i).
+
+%% Eliminate.CopyTypes.
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#relN(n)) [#relHT(n, t): SM_HAS_NODE_TYPE] (#relT(t): SM_Type; schemaOID: %[2]d, name: w).
+
+%% Eliminate.CopyNodeAttributes.
+(n: SM_Node; schemaOID: %[1]d)
+    [: SM_HAS_NODE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#relN(n)) [#relHP(a, n): SM_HAS_NODE_PROPERTY; isIntensional: ii]
+     (#relA(a, n): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+%% Identifier inheritance — every descendant relation carries the
+%% identifying attributes of its ancestors (they are both its primary key
+%% and the source fields of the IS-A foreign key).
+(n: SM_Node; schemaOID: %[1]d) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isId: true),
+(c: SM_Node; schemaOID: %[1]d) ([: SM_CHILD]- . [: SM_PARENT])+ (n)
+  -> (#relN(c)) [#relHPI(a, c): SM_HAS_NODE_PROPERTY] (#relAI(a, c): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: true).
+
+%% Eliminate.DeleteGeneralizations — table-per-class: an IS-A foreign-key
+%% edge from each child to its parent, carrying the parent identifier as
+%% source fields.
+(g: SM_Generalization; schemaOID: %[1]d) [: SM_PARENT] (p: SM_Node; schemaOID: %[1]d),
+(g) [: SM_CHILD] (c: SM_Node; schemaOID: %[1]d),
+(c) [: SM_HAS_NODE_TYPE] (ct: SM_Type; schemaOID: %[1]d, name: cn),
+(p) [: SM_HAS_NODE_TYPE] (pt: SM_Type; schemaOID: %[1]d, name: pn),
+nm = concat("FK_ISA_", cn, "_", pn)
+  -> (#relISA(g, c): SM_Edge; schemaOID: %[2]d, isIntensional: false, isOpt1: false, isFun1: true, isOpt2: true, isFun2: false),
+     (#relISA(g, c)) [#relISAF(g, c): SM_FROM] (#relN(c)),
+     (#relISA(g, c)) [#relISAT(g, c): SM_TO] (#relN(p)),
+     (#relISA(g, c)) [#relISAHT(g, c): SM_HAS_EDGE_TYPE] (#relISATY(g, c): SM_Type; schemaOID: %[2]d, name: nm).
+
+(g: SM_Generalization; schemaOID: %[1]d) [: SM_PARENT] (p: SM_Node; schemaOID: %[1]d),
+(g) [: SM_CHILD] (c: SM_Node; schemaOID: %[1]d),
+(p) ([: SM_CHILD]- . [: SM_PARENT])* (anc: SM_Node; schemaOID: %[1]d),
+(anc) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isId: true)
+  -> (#relISA(g, c)) [#relISAHP(a, g, c): SM_HAS_EDGE_PROPERTY] (#relISAA(a, g, c): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: false).
+
+%% Eliminate.CopyOneToManyEdges — functional edges become foreign keys.
+%% Source-functional: the foreign key sits on the source relation and its
+%% fields reference the target identifier.
+(n: SM_Node; schemaOID: %[1]d) [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: false, isFun1: true, isOpt1: o1) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#relFK(e): SM_Edge; schemaOID: %[2]d, isIntensional: false, isOpt1: o1, isFun1: true, isOpt2: true, isFun2: false),
+     (#relFK(e)) [#relFKF(e): SM_FROM] (#relN(n)),
+     (#relFK(e)) [#relFKT(e): SM_TO] (#relN(m)),
+     (#relFK(e)) [#relFKHT(e): SM_HAS_EDGE_TYPE] (#relFKTY(e): SM_Type; schemaOID: %[2]d, name: w).
+
+(e: SM_Edge; schemaOID: %[1]d, isIntensional: false, isFun1: true) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(m) ([: SM_CHILD]- . [: SM_PARENT])* (anc: SM_Node; schemaOID: %[1]d),
+(anc) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isId: true)
+  -> (#relFK(e)) [#relFKHP(a, e): SM_HAS_EDGE_PROPERTY] (#relFKA(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: false).
+
+%% The SM_Attributes of a functional edge are copied to the source node
+%% (they become columns of the relation holding the foreign key).
+(n: SM_Node; schemaOID: %[1]d) [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: false, isFun1: true)
+    [: SM_HAS_EDGE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o)
+  -> (#relN(n)) [#relEHP(a, e): SM_HAS_NODE_PROPERTY] (#relEA(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: false).
+
+%% Target-functional edges are handled symmetrically: the foreign key sits
+%% on the target relation.
+(n: SM_Node; schemaOID: %[1]d) [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: false, isFun1: false, isFun2: true, isOpt2: o2) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w)
+  -> (#relFK2(e): SM_Edge; schemaOID: %[2]d, isIntensional: false, isOpt1: o2, isFun1: true, isOpt2: true, isFun2: false),
+     (#relFK2(e)) [#relFK2F(e): SM_FROM] (#relN(m)),
+     (#relFK2(e)) [#relFK2T(e): SM_TO] (#relN(n)),
+     (#relFK2(e)) [#relFK2HT(e): SM_HAS_EDGE_TYPE] (#relFK2TY(e): SM_Type; schemaOID: %[2]d, name: w).
+
+(e: SM_Edge; schemaOID: %[1]d, isIntensional: false, isFun1: false, isFun2: true) [: SM_FROM] (n: SM_Node; schemaOID: %[1]d),
+(n) ([: SM_CHILD]- . [: SM_PARENT])* (anc: SM_Node; schemaOID: %[1]d),
+(anc) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isId: true)
+  -> (#relFK2(e)) [#relFK2HP(a, e): SM_HAS_EDGE_PROPERTY] (#relFK2A(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: false).
+
+(m: SM_Node; schemaOID: %[1]d) [: SM_TO]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: false, isFun1: false, isFun2: true)
+    [: SM_HAS_EDGE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o)
+  -> (#relN(m)) [#relEHP2(a, e): SM_HAS_NODE_PROPERTY] (#relEA2(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: false).
+
+%% Eliminate.DeleteManyToManyEdges(1) — a junction SM_Node per N:M edge,
+%% typed with the edge's type and carrying the edge's attributes. Intensional
+%% edges stay edge-shaped conceptually, but the relational model has no edge
+%% construct, so they are translated the same way with their intensional flag
+%% preserved on the junction node.
+(n: SM_Node; schemaOID: %[1]d) [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isFun1: f1, isFun2: f2) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w),
+(i = true) or (f1 = false and f2 = false)
+  -> (#relJ(e): SM_Node; schemaOID: %[2]d, isIntensional: i),
+     (#relJ(e)) [#relJHT(e): SM_HAS_NODE_TYPE] (#relJTY(e): SM_Type; schemaOID: %[2]d, name: w).
+
+(e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isFun1: f1, isFun2: f2)
+    [: SM_HAS_EDGE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isOpt: o),
+(i = true) or (f1 = false and f2 = false)
+  -> (#relJ(e)) [#relJHP(a, e): SM_HAS_NODE_PROPERTY; isIntensional: ii]
+     (#relJA(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: false).
+
+%% Eliminate.DeleteManyToManyEdges(2)/(3) — the two foreign keys from the
+%% junction to the endpoint relations, with the endpoint identifiers as
+%% source fields.
+(n: SM_Node; schemaOID: %[1]d) [: SM_FROM]- (e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isFun1: f1, isFun2: f2) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(e) [: SM_HAS_EDGE_TYPE] (t: SM_Type; schemaOID: %[1]d, name: w),
+(i = true) or (f1 = false and f2 = false),
+fn = concat("FK_", w, "_SRC"), tn = concat("FK_", w, "_DST")
+  -> (#relJFKS(e): SM_Edge; schemaOID: %[2]d, isIntensional: false, isOpt1: false, isFun1: true, isOpt2: true, isFun2: false),
+     (#relJFKS(e)) [#relJFKSF(e): SM_FROM] (#relJ(e)),
+     (#relJFKS(e)) [#relJFKST(e): SM_TO] (#relN(n)),
+     (#relJFKS(e)) [#relJFKSHT(e): SM_HAS_EDGE_TYPE] (#relJFKSTY(e): SM_Type; schemaOID: %[2]d, name: fn),
+     (#relJFKD(e): SM_Edge; schemaOID: %[2]d, isIntensional: false, isOpt1: false, isFun1: true, isOpt2: true, isFun2: false),
+     (#relJFKD(e)) [#relJFKDF(e): SM_FROM] (#relJ(e)),
+     (#relJFKD(e)) [#relJFKDT(e): SM_TO] (#relN(m)),
+     (#relJFKD(e)) [#relJFKDHT(e): SM_HAS_EDGE_TYPE] (#relJFKDTY(e): SM_Type; schemaOID: %[2]d, name: tn).
+
+(e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isFun1: f1, isFun2: f2) [: SM_FROM] (n: SM_Node; schemaOID: %[1]d),
+(i = true) or (f1 = false and f2 = false),
+(n) ([: SM_CHILD]- . [: SM_PARENT])* (anc: SM_Node; schemaOID: %[1]d),
+(anc) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isId: true)
+  -> (#relJFKS(e)) [#relJFKSHP(a, e): SM_HAS_EDGE_PROPERTY] (#relJFKSA(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: false).
+
+(e: SM_Edge; schemaOID: %[1]d, isIntensional: i, isFun1: f1, isFun2: f2) [: SM_TO] (m: SM_Node; schemaOID: %[1]d),
+(i = true) or (f1 = false and f2 = false),
+(m) ([: SM_CHILD]- . [: SM_PARENT])* (anc: SM_Node; schemaOID: %[1]d),
+(anc) [: SM_HAS_NODE_PROPERTY] (a: SM_Attribute; schemaOID: %[1]d, name: an, dataType: dt, isId: true)
+  -> (#relJFKD(e)) [#relJFKDHP(a, e): SM_HAS_EDGE_PROPERTY] (#relJFKDA(a, e): SM_Attribute; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: false).
+`, src, mid)
+}
+
+// relationalCopy implements the Copy phase of M(relational):
+// StorePredicatesAndRelations, StoreNodeAttributes and
+// StoreOneToManyEdges (Section 5.3), downcasting S⁻ into the Figure 7
+// constructs.
+func relationalCopy(mid, dst int64) string {
+	return fmt.Sprintf(`
+%% Copy.StorePredicatesAndRelations.
+(n: SM_Node; schemaOID: %[1]d, isIntensional: i) [: SM_HAS_NODE_TYPE] (t: SM_Type; name: w)
+  -> (#copyPred(n): Predicate; schemaOID: %[2]d, isIntensional: i),
+     (#copyPred(n)) [#copyHR(n, t): HAS_RELATION] (#copyRel(n, t): Relation; schemaOID: %[2]d, name: w).
+
+%% Copy.StoreNodeAttributes.
+(n: SM_Node; schemaOID: %[1]d)
+    [: SM_HAS_NODE_PROPERTY; isIntensional: ii]
+    (a: SM_Attribute; name: an, dataType: dt, isOpt: o, isId: d)
+  -> (#copyPred(n)) [#copyHF(a): HAS_FIELD; isIntensional: ii]
+     (#copyF(a): Field; schemaOID: %[2]d, name: an, dataType: dt, isOpt: o, isId: d).
+
+%% Copy.StoreOneToManyEdges — every surviving SM_Edge is FK-shaped.
+(e: SM_Edge; schemaOID: %[1]d) [: SM_HAS_EDGE_TYPE] (t: SM_Type; name: w),
+(e) [: SM_FROM] (n), (e) [: SM_TO] (m)
+  -> (#copyFK(e): ForeignKey; schemaOID: %[2]d, name: w),
+     (#copyFK(e)) [#copyFKF(e): FK_FROM] (#copyPred(n)),
+     (#copyFK(e)) [#copyFKT(e): FK_TO] (#copyPred(m)).
+
+(e: SM_Edge; schemaOID: %[1]d)
+    [: SM_HAS_EDGE_PROPERTY]
+    (a: SM_Attribute; name: an, dataType: dt)
+  -> (#copyFK(e)) [#copyHSF(a): HAS_SOURCE_FIELD] (#copySF(a): Field; schemaOID: %[2]d, name: an, dataType: dt, isOpt: false, isId: false).
+`, mid, dst)
+}

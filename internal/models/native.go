@@ -1,0 +1,294 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/supermodel"
+)
+
+// Native Go twins of the MetaLog mappings. They compute the same typed views
+// that ReadPGSchema / ReadRelationalSchema extract from an SSST-translated
+// dictionary, and serve two purposes: cross-validating the MetaLog pipeline
+// in tests (the two paths must agree exactly) and acting as the baseline in
+// the translation ablation benchmarks.
+
+func toPropView(a *supermodel.Attribute) PropView {
+	pv := PropView{
+		Name:          a.Name,
+		DataType:      string(a.Type),
+		IsOpt:         a.IsOpt,
+		IsID:          a.IsID,
+		IsIntensional: a.IsIntensional,
+	}
+	for _, m := range a.Modifiers {
+		if _, ok := m.(supermodel.UniqueModifier); ok {
+			pv.Unique = true
+		}
+	}
+	return pv
+}
+
+func sortProps(ps []PropView) []PropView {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// labelSet returns the multi-label tag set of a node: its own type plus
+// every ancestor type, sorted.
+func labelSet(s *supermodel.Schema, node string) []string {
+	labels := append([]string{node}, s.Ancestors(node)...)
+	sort.Strings(labels)
+	return labels
+}
+
+func descOrSelf(s *supermodel.Schema, node string) []string {
+	out := append([]string{node}, s.Descendants(node)...)
+	sort.Strings(out)
+	return out
+}
+
+// NativeToPG computes the property-graph schema view the SSST PG mapping
+// produces, without going through MetaLog.
+func NativeToPG(s *supermodel.Schema, strategy string) (*PGSchemaView, error) {
+	switch strategy {
+	case "", "multi-label":
+		return nativePGMultiLabel(s), nil
+	case "child-edges":
+		return nativePGChildEdges(s), nil
+	default:
+		return nil, fmt.Errorf("models: unknown PG strategy %q", strategy)
+	}
+}
+
+func nativePGMultiLabel(s *supermodel.Schema) *PGSchemaView {
+	v := &PGSchemaView{}
+	for _, n := range s.Nodes {
+		var props []PropView
+		for _, a := range s.EffectiveAttributes(n.Name) {
+			props = append(props, toPropView(a))
+		}
+		v.Nodes = append(v.Nodes, PGNodeView{
+			Labels:        labelSet(s, n.Name),
+			Properties:    sortProps(props),
+			IsIntensional: n.IsIntensional,
+		})
+	}
+	for _, e := range s.Edges {
+		var props []PropView
+		for _, a := range e.Attributes {
+			pv := toPropView(a)
+			pv.Unique = false // edge-attribute modifiers are not part of the PG model
+			props = append(props, pv)
+		}
+		props = sortProps(props)
+		// Outgoing inheritance: one relationship per descendant-or-self of
+		// the source (the self case is the original edge).
+		for _, c := range descOrSelf(s, e.From) {
+			v.Rels = append(v.Rels, PGRelView{
+				Name:          e.Name,
+				FromLabels:    labelSet(s, c),
+				ToLabels:      labelSet(s, e.To),
+				Properties:    props,
+				IsIntensional: e.IsIntensional,
+			})
+		}
+		// Incoming inheritance: proper descendants of the target.
+		for _, c := range s.Descendants(e.To) {
+			v.Rels = append(v.Rels, PGRelView{
+				Name:          e.Name,
+				FromLabels:    labelSet(s, e.From),
+				ToLabels:      labelSet(s, c),
+				Properties:    props,
+				IsIntensional: e.IsIntensional,
+			})
+		}
+	}
+	sortPGView(v)
+	return v
+}
+
+func nativePGChildEdges(s *supermodel.Schema) *PGSchemaView {
+	v := &PGSchemaView{}
+	for _, n := range s.Nodes {
+		var props []PropView
+		for _, a := range n.Attributes {
+			props = append(props, toPropView(a))
+		}
+		v.Nodes = append(v.Nodes, PGNodeView{
+			Labels:        []string{n.Name},
+			Properties:    sortProps(props),
+			IsIntensional: n.IsIntensional,
+		})
+	}
+	for _, e := range s.Edges {
+		var props []PropView
+		for _, a := range e.Attributes {
+			pv := toPropView(a)
+			pv.Unique = false
+			props = append(props, pv)
+		}
+		v.Rels = append(v.Rels, PGRelView{
+			Name:          e.Name,
+			FromLabels:    []string{e.From},
+			ToLabels:      []string{e.To},
+			Properties:    sortProps(props),
+			IsIntensional: e.IsIntensional,
+		})
+	}
+	for _, g := range s.Generalizations {
+		for _, c := range g.Children {
+			v.Rels = append(v.Rels, PGRelView{
+				Name:       "IS_A_" + c + "_" + g.Parent,
+				FromLabels: []string{c},
+				ToLabels:   []string{g.Parent},
+			})
+		}
+	}
+	sortPGView(v)
+	return v
+}
+
+func sortPGView(v *PGSchemaView) {
+	sort.Slice(v.Nodes, func(i, j int) bool {
+		return fmt.Sprint(v.Nodes[i].Labels) < fmt.Sprint(v.Nodes[j].Labels)
+	})
+	sort.Slice(v.Rels, func(i, j int) bool {
+		if v.Rels[i].Name != v.Rels[j].Name {
+			return v.Rels[i].Name < v.Rels[j].Name
+		}
+		if a, b := fmt.Sprint(v.Rels[i].FromLabels), fmt.Sprint(v.Rels[j].FromLabels); a != b {
+			return a < b
+		}
+		return fmt.Sprint(v.Rels[i].ToLabels) < fmt.Sprint(v.Rels[j].ToLabels)
+	})
+}
+
+// effectiveIDFields returns the identifying attributes of the node,
+// including inherited ones, as sorted field names.
+func effectiveIDFields(s *supermodel.Schema, node string) []string {
+	var out []string
+	for _, a := range s.EffectiveIDAttributes(node) {
+		out = append(out, a.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isJunction reports whether the relational mapping turns the edge into a
+// junction relation: every intensional edge, and every extensional
+// many-to-many edge.
+func isJunction(e *supermodel.Edge) bool {
+	return e.IsIntensional || e.IsManyToMany()
+}
+
+// NativeToRelational computes the relational schema view the SSST
+// relational mapping (table-per-class strategy) produces.
+func NativeToRelational(s *supermodel.Schema) *RelationalSchemaView {
+	v := &RelationalSchemaView{}
+
+	// One relation per node: own attributes, inherited identifiers, and the
+	// attributes of functional edges absorbed into the relation that holds
+	// the foreign key.
+	for _, n := range s.Nodes {
+		rv := RelationView{Name: n.Name, IsIntensional: n.IsIntensional}
+		for _, a := range n.Attributes {
+			pv := toPropView(a)
+			pv.Unique = false // the relational mapping omits modifiers (Section 5.3)
+			rv.Fields = append(rv.Fields, pv)
+		}
+		for _, anc := range s.Ancestors(n.Name) {
+			for _, a := range s.Node(anc).Attributes {
+				if a.IsID {
+					pv := toPropView(a)
+					pv.IsOpt = false
+					pv.Unique = false
+					pv.IsIntensional = false
+					rv.Fields = append(rv.Fields, pv)
+				}
+			}
+		}
+		for _, e := range s.Edges {
+			if isJunction(e) {
+				continue
+			}
+			var holder string
+			switch {
+			case e.FromCard.Max1:
+				holder = e.From
+			case e.ToCard.Max1:
+				holder = e.To
+			}
+			if holder != n.Name {
+				continue
+			}
+			for _, a := range e.Attributes {
+				pv := toPropView(a)
+				pv.IsID = false
+				pv.Unique = false
+				pv.IsIntensional = false
+				rv.Fields = append(rv.Fields, pv)
+			}
+		}
+		rv.Fields = sortProps(rv.Fields)
+
+		// IS-A foreign keys to every direct parent.
+		for _, g := range s.Generalizations {
+			for _, c := range g.Children {
+				if c != n.Name {
+					continue
+				}
+				rv.ForeignKeys = append(rv.ForeignKeys, FKView{
+					Name:           "FK_ISA_" + c + "_" + g.Parent,
+					TargetRelation: g.Parent,
+					SourceFields:   effectiveIDFields(s, g.Parent),
+				})
+			}
+		}
+		// Functional-edge foreign keys held by this relation.
+		for _, e := range s.Edges {
+			if isJunction(e) {
+				continue
+			}
+			switch {
+			case e.FromCard.Max1 && e.From == n.Name:
+				rv.ForeignKeys = append(rv.ForeignKeys, FKView{
+					Name:           e.Name,
+					TargetRelation: e.To,
+					SourceFields:   effectiveIDFields(s, e.To),
+				})
+			case !e.FromCard.Max1 && e.ToCard.Max1 && e.To == n.Name:
+				rv.ForeignKeys = append(rv.ForeignKeys, FKView{
+					Name:           e.Name,
+					TargetRelation: e.From,
+					SourceFields:   effectiveIDFields(s, e.From),
+				})
+			}
+		}
+		sort.Slice(rv.ForeignKeys, func(i, j int) bool { return rv.ForeignKeys[i].Name < rv.ForeignKeys[j].Name })
+		v.Relations = append(v.Relations, rv)
+	}
+
+	// Junction relations for intensional and many-to-many edges.
+	for _, e := range s.Edges {
+		if !isJunction(e) {
+			continue
+		}
+		rv := RelationView{Name: e.Name, IsIntensional: e.IsIntensional}
+		for _, a := range e.Attributes {
+			pv := toPropView(a)
+			pv.IsID = false
+			pv.Unique = false
+			rv.Fields = append(rv.Fields, pv)
+		}
+		rv.Fields = sortProps(rv.Fields)
+		rv.ForeignKeys = []FKView{
+			{Name: "FK_" + e.Name + "_SRC", TargetRelation: e.From, SourceFields: effectiveIDFields(s, e.From)},
+			{Name: "FK_" + e.Name + "_DST", TargetRelation: e.To, SourceFields: effectiveIDFields(s, e.To)},
+		}
+		sort.Slice(rv.ForeignKeys, func(i, j int) bool { return rv.ForeignKeys[i].Name < rv.ForeignKeys[j].Name })
+		v.Relations = append(v.Relations, rv)
+	}
+	sort.Slice(v.Relations, func(i, j int) bool { return v.Relations[i].Name < v.Relations[j].Name })
+	return v
+}

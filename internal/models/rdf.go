@@ -1,0 +1,89 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pg"
+	"repro/internal/value"
+)
+
+// Triplestore instance serialization: Section 2.2 lists triple stores among
+// the target systems for the extensional component. EmitNTriples serializes
+// a property-graph data instance as RDF N-Triples under a simple reification
+// scheme: nodes become IRIs minted from their OID, labels become rdf:type
+// triples, properties become data triples, and edges become triples of the
+// edge label (edges with properties are additionally reified as statement
+// resources so the properties are not lost).
+
+const (
+	rdfType   = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+	rdfSubj   = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#subject>"
+	rdfPred   = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate>"
+	rdfObj    = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#object>"
+	rdfStmt   = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement>"
+	xsdInt    = "<http://www.w3.org/2001/XMLSchema#integer>"
+	xsdDouble = "<http://www.w3.org/2001/XMLSchema#double>"
+	xsdBool   = "<http://www.w3.org/2001/XMLSchema#boolean>"
+)
+
+func rdfLiteral(v value.Value) string {
+	switch v.K {
+	case value.Int:
+		return fmt.Sprintf("%q^^%s", v.String(), xsdInt)
+	case value.Float:
+		return fmt.Sprintf("%q^^%s", v.String(), xsdDouble)
+	case value.Bool:
+		return fmt.Sprintf("%q^^%s", v.String(), xsdBool)
+	default:
+		return fmt.Sprintf("%q", v.String())
+	}
+}
+
+// EmitNTriples serializes the graph as N-Triples under the base IRI.
+func EmitNTriples(g *pg.Graph, base string) string {
+	base = strings.TrimSuffix(base, "/")
+	nodeIRI := func(id pg.OID) string { return fmt.Sprintf("<%s/node/%d>", base, id) }
+	classIRI := func(l string) string { return fmt.Sprintf("<%s/class/%s>", base, l) }
+	propIRI := func(p string) string { return fmt.Sprintf("<%s/prop/%s>", base, p) }
+	relIRI := func(r string) string { return fmt.Sprintf("<%s/rel/%s>", base, r) }
+
+	var b strings.Builder
+	line := func(s, p, o string) { fmt.Fprintf(&b, "%s %s %s .\n", s, p, o) }
+
+	for _, n := range g.Nodes() {
+		s := nodeIRI(n.ID)
+		for _, l := range n.Labels {
+			line(s, rdfType, classIRI(l))
+		}
+		keys := make([]string, 0, len(n.Props))
+		for k := range n.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line(s, propIRI(k), rdfLiteral(n.Props[k]))
+		}
+	}
+	for _, e := range g.Edges() {
+		s, o := nodeIRI(e.From), nodeIRI(e.To)
+		line(s, relIRI(e.Label), o)
+		if len(e.Props) > 0 {
+			stmt := fmt.Sprintf("<%s/edge/%d>", base, e.ID)
+			line(stmt, rdfType, rdfStmt)
+			line(stmt, rdfSubj, s)
+			line(stmt, rdfPred, relIRI(e.Label))
+			line(stmt, rdfObj, o)
+			keys := make([]string, 0, len(e.Props))
+			for k := range e.Props {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line(stmt, propIRI(k), rdfLiteral(e.Props[k]))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renderers for translated schemas: the paper presents the
+// translation results as diagrams (Figure 6 for the PG model, Figure 8 for
+// the relational model); these emit the equivalent Graphviz DOT.
+
+// RenderPGViewDOT renders a translated property-graph schema in the style
+// of Figure 6: one box per node type listing its label set and properties,
+// one arrow per relationship type (dashed when intensional).
+func RenderPGViewDOT(v *PGSchemaView) string {
+	var b strings.Builder
+	b.WriteString("digraph \"pg-schema\" {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=record fontsize=9 fontname=\"Helvetica\"];\n  edge [fontsize=8 fontname=\"Helvetica\"];\n")
+	id := func(labels []string) string { return strings.Join(labels, ":") }
+	for _, n := range v.Nodes {
+		var props []string
+		for _, p := range n.Properties {
+			marker := ""
+			if p.IsID {
+				marker = " *"
+			} else if p.IsOpt {
+				marker = " ?"
+			}
+			if p.IsIntensional {
+				marker += " ~"
+			}
+			props = append(props, p.Name+": "+p.DataType+marker)
+		}
+		style := "solid"
+		if n.IsIntensional {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q [style=%s label=\"{%s|%s}\"];\n",
+			id(n.Labels), style, strings.Join(n.Labels, "\\n:"), strings.Join(props, "\\l"))
+	}
+	for _, r := range v.Rels {
+		style := "solid"
+		if r.IsIntensional {
+			style = "dashed"
+		}
+		var props []string
+		for _, p := range r.Properties {
+			props = append(props, p.Name)
+		}
+		label := r.Name
+		if len(props) > 0 {
+			label += "\\n{" + strings.Join(props, ", ") + "}"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s label=\"%s\"];\n",
+			id(r.FromLabels), id(r.ToLabels), style, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RenderRelationalViewDOT renders a translated relational schema in the
+// style of Figure 8: one record per relation listing its fields (keys
+// starred), one arrow per foreign key labeled with its source fields.
+func RenderRelationalViewDOT(v *RelationalSchemaView) string {
+	var b strings.Builder
+	b.WriteString("digraph \"relational-schema\" {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=record fontsize=9 fontname=\"Helvetica\"];\n  edge [fontsize=8 fontname=\"Helvetica\"];\n")
+	for _, r := range v.Relations {
+		var fields []string
+		for _, f := range r.Fields {
+			marker := ""
+			if f.IsID {
+				marker = " *"
+			} else if f.IsOpt {
+				marker = " ?"
+			}
+			fields = append(fields, f.Name+": "+f.DataType+marker)
+		}
+		style := "solid"
+		if r.IsIntensional {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q [style=%s label=\"{%s|%s}\"];\n",
+			r.Name, style, r.Name, strings.Join(fields, "\\l"))
+	}
+	for _, r := range v.Relations {
+		for _, fk := range r.ForeignKeys {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%s\\n(%s)\"];\n",
+				r.Name, fk.TargetRelation, fk.Name, strings.Join(fk.SourceFields, ", "))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

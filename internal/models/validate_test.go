@@ -1,0 +1,155 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pg"
+	"repro/internal/supermodel"
+	"repro/internal/value"
+)
+
+// miniView translates a small schema and returns its PG view.
+func miniView(t *testing.T) *PGSchemaView {
+	t.Helper()
+	s := supermodel.NewSchema("mini", 77)
+	s.MustAddNode("Company", false,
+		supermodel.Attr("vat", supermodel.String).ID(),
+		supermodel.Attr("cap", supermodel.Float).Opt(),
+	)
+	s.MustAddNode("Person", false,
+		supermodel.Attr("code", supermodel.String).ID().With(supermodel.UniqueModifier{}),
+	)
+	s.MustAddEdge("OWNS", false, "Person", "Company", supermodel.ZeroToMany, supermodel.ZeroToMany,
+		supermodel.Attr("pct", supermodel.Float),
+	)
+	v, err := NativeToPG(s, "multi-label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestValidateInstanceClean(t *testing.T) {
+	view := miniView(t)
+	g := pg.New()
+	p := g.AddNode([]string{"Person"}, pg.Props{"code": value.Str("P1")}).ID
+	c := g.AddNode([]string{"Company"}, pg.Props{"vat": value.Str("IT1"), "cap": value.FloatV(10)}).ID
+	g.MustAddEdge(p, c, "OWNS", pg.Props{"pct": value.FloatV(0.5)})
+	if got := ValidateInstance(g, view); len(got) != 0 {
+		t.Errorf("clean instance reported violations: %v", got)
+	}
+}
+
+func TestValidateInstanceViolations(t *testing.T) {
+	view := miniView(t)
+	g := pg.New()
+	// Missing required vat; wrong type for cap; unknown property; unknown
+	// label; duplicate unique code; edge with bad endpoints and missing pct.
+	c1 := g.AddNode([]string{"Company"}, pg.Props{"cap": value.Str("not-a-float"), "color": value.Str("red")}).ID
+	p1 := g.AddNode([]string{"Person"}, pg.Props{"code": value.Str("X")}).ID
+	p2 := g.AddNode([]string{"Person"}, pg.Props{"code": value.Str("X")}).ID
+	alien := g.AddNode([]string{"Alien"}, nil).ID
+	g.MustAddEdge(c1, p1, "OWNS", nil)    // wrong direction (Company -> Person)
+	g.MustAddEdge(p1, c1, "OWNS", nil)    // missing pct
+	g.MustAddEdge(p2, c1, "FRIENDS", nil) // unknown relationship
+	_ = alien
+
+	got := ValidateInstance(g, view)
+	kinds := map[string]int{}
+	for _, v := range got {
+		kinds[v.Kind]++
+	}
+	for kind, want := range map[string]int{
+		"missing-property":     2, // vat on c1, pct on the p1->c1 edge
+		"bad-type":             1,
+		"unknown-property":     1,
+		"unknown-label":        2, // the label itself and the unmatched label set
+		"not-unique":           1,
+		"bad-endpoint":         1,
+		"unknown-relationship": 1,
+	} {
+		if kinds[kind] != want {
+			t.Errorf("%s violations = %d, want %d\nall: %v", kind, kinds[kind], want, got)
+		}
+	}
+}
+
+func TestValidateInstanceIntensionalPropsOptional(t *testing.T) {
+	// Intensional properties (numberOfStakeholders) must not be required of
+	// ground data.
+	res := translateCompanyKG(t, "pg", "multi-label")
+	view, err := ReadPGSchema(res.Dict, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pg.New()
+	g.AddNode([]string{"Business", "LegalPerson", "Person"}, pg.Props{
+		"fiscalCode":          value.Str("B1"),
+		"businessName":        value.Str("acme"),
+		"legalNature":         value.Str("spa"),
+		"shareholdingCapital": value.FloatV(1),
+	})
+	for _, v := range ValidateInstance(g, view) {
+		if strings.Contains(v.Detail, "numberOfStakeholders") {
+			t.Errorf("intensional property must not be required: %v", v)
+		}
+		if strings.Contains(v.Detail, "website") && v.Kind == "missing-property" {
+			t.Errorf("optional property must not be required: %v", v)
+		}
+	}
+}
+
+func TestValidateCardinalities(t *testing.T) {
+	g := pg.New()
+	a := g.AddNode([]string{"Share"}, nil).ID
+	b := g.AddNode([]string{"Share"}, nil).ID
+	biz1 := g.AddNode([]string{"Business"}, nil).ID
+	biz2 := g.AddNode([]string{"Business"}, nil).ID
+	g.MustAddEdge(a, biz1, "BELONGS_TO", nil)
+	g.MustAddEdge(a, biz2, "BELONGS_TO", nil) // violates at-most-one
+	_ = b                                     // violates mandatory participation
+
+	got := ValidateCardinalities(g, "BELONGS_TO", true, true, "Share")
+	if len(got) != 2 {
+		t.Fatalf("violations = %v", got)
+	}
+	if !strings.Contains(got[0].Detail, "at most 1") {
+		t.Errorf("first violation = %v", got[0])
+	}
+	if !strings.Contains(got[1].Detail, "mandatory") {
+		t.Errorf("second violation = %v", got[1])
+	}
+}
+
+func TestValidateGeneratedInstanceAgainstFigure6(t *testing.T) {
+	// The synthetic Company KG instances conform to the Figure 6 schema by
+	// construction — cross-check generator and translator against each
+	// other, ignoring the Entity convenience label.
+	res := translateCompanyKG(t, "pg", "multi-label")
+	view, err := ReadPGSchema(res.Dict, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generated businesses carry Business:LegalPerson:Person, persons carry
+	// PhysicalPerson:Person; both are valid label sets of the view.
+	if view.NodeByLabel("Business") == nil || view.NodeByLabel("PhysicalPerson") == nil {
+		t.Fatal("view misses expected node types")
+	}
+	g := pg.New()
+	p := g.AddNode([]string{"Person", "PhysicalPerson"}, pg.Props{
+		"fiscalCode": value.Str("P1"), "name": value.Str("Rossi Maria"), "gender": value.Str("female"),
+	}).ID
+	sh := g.AddNode([]string{"Share"}, pg.Props{
+		"shareCode": value.Str("S1"), "percentage": value.FloatV(1.0),
+	}).ID
+	bz := g.AddNode([]string{"Business", "LegalPerson", "Person"}, pg.Props{
+		"fiscalCode": value.Str("B1"), "businessName": value.Str("acme"),
+		"legalNature": value.Str("spa"), "shareholdingCapital": value.FloatV(5),
+	}).ID
+	g.MustAddEdge(p, sh, "HOLDS", pg.Props{"right": value.Str("ownership"), "percentage": value.FloatV(1)})
+	g.MustAddEdge(sh, bz, "BELONGS_TO", nil)
+	if got := ValidateInstance(g, view); len(got) != 0 {
+		t.Errorf("conforming instance reported violations: %v", got)
+	}
+}

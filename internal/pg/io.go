@@ -1,0 +1,300 @@
+package pg
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// The paper lists "plain CSV files" among the non-graph-like models frequently
+// used to serialize graphs (Section 2.2). This file implements CSV and JSON
+// serialization of property graphs, used by the CSV target model and by the
+// command-line tools to exchange instances.
+
+// jsonValue is the serialized form of a value.Value.
+type jsonValue struct {
+	Kind  string  `json:"kind"`
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Bool  bool    `json:"bool,omitempty"`
+}
+
+func toJSONValue(v value.Value) jsonValue {
+	return jsonValue{Kind: v.K.String(), Str: v.S, Int: v.I, Float: v.F, Bool: v.B}
+}
+
+func fromJSONValue(j jsonValue) (value.Value, error) {
+	switch j.Kind {
+	case "string":
+		return value.Str(j.Str), nil
+	case "int":
+		return value.IntV(j.Int), nil
+	case "float":
+		return value.FloatV(j.Float), nil
+	case "bool":
+		return value.BoolV(j.Bool), nil
+	case "null":
+		return value.NullV(j.Int), nil
+	case "id":
+		return value.IDV(j.Str), nil
+	default:
+		return value.Value{}, fmt.Errorf("pg: unknown value kind %q", j.Kind)
+	}
+}
+
+type jsonNode struct {
+	ID     int64                `json:"id"`
+	Labels []string             `json:"labels,omitempty"`
+	Props  map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonEdge struct {
+	ID    int64                `json:"id"`
+	Label string               `json:"label"`
+	From  int64                `json:"from"`
+	To    int64                `json:"to"`
+	Props map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// WriteJSON serializes the graph as a single JSON document.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonGraph{}
+	for _, n := range g.Nodes() {
+		jn := jsonNode{ID: int64(n.ID), Labels: n.Labels, Props: map[string]jsonValue{}}
+		for k, v := range n.Props {
+			jn.Props[k] = toJSONValue(v)
+		}
+		doc.Nodes = append(doc.Nodes, jn)
+	}
+	for _, e := range g.Edges() {
+		je := jsonEdge{ID: int64(e.ID), Label: e.Label, From: int64(e.From), To: int64(e.To), Props: map[string]jsonValue{}}
+		for k, v := range e.Props {
+			je.Props[k] = toJSONValue(v)
+		}
+		doc.Edges = append(doc.Edges, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a graph previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var doc jsonGraph
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("pg: decoding JSON graph: %w", err)
+	}
+	g := New()
+	for _, jn := range doc.Nodes {
+		props := Props{}
+		for k, jv := range jn.Props {
+			v, err := fromJSONValue(jv)
+			if err != nil {
+				return nil, err
+			}
+			props[k] = v
+		}
+		if _, err := g.AddNodeWithID(OID(jn.ID), jn.Labels, props); err != nil {
+			return nil, err
+		}
+	}
+	for _, je := range doc.Edges {
+		props := Props{}
+		for k, jv := range je.Props {
+			v, err := fromJSONValue(jv)
+			if err != nil {
+				return nil, err
+			}
+			props[k] = v
+		}
+		if _, err := g.AddEdgeWithID(OID(je.ID), OID(je.From), OID(je.To), je.Label, props); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WriteNodeCSV writes all nodes as CSV with header
+// id,labels,<prop1>,<prop2>,... where the property columns are the union of
+// property names across nodes, sorted. Missing properties serialize as "".
+func (g *Graph) WriteNodeCSV(w io.Writer) error {
+	nodes := g.Nodes()
+	cols := propColumns(nodesProps(nodes))
+	cw := csv.NewWriter(w)
+	header := append([]string{"id", "labels"}, cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, strconv.FormatInt(int64(n.ID), 10), strings.Join(n.Labels, ";"))
+		for _, c := range cols {
+			rec = append(rec, csvCell(n.Props, c))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEdgeCSV writes all edges as CSV with header
+// id,label,from,to,<prop1>,... analogous to WriteNodeCSV.
+func (g *Graph) WriteEdgeCSV(w io.Writer) error {
+	edges := g.Edges()
+	props := make([]Props, len(edges))
+	for i, e := range edges {
+		props[i] = e.Props
+	}
+	cols := propColumns(props)
+	cw := csv.NewWriter(w)
+	header := append([]string{"id", "label", "from", "to"}, cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		rec := make([]string, 0, len(header))
+		rec = append(rec,
+			strconv.FormatInt(int64(e.ID), 10), e.Label,
+			strconv.FormatInt(int64(e.From), 10), strconv.FormatInt(int64(e.To), 10))
+		for _, c := range cols {
+			rec = append(rec, csvCell(e.Props, c))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reconstructs a graph from node and edge CSV streams produced by
+// WriteNodeCSV and WriteEdgeCSV. Property values are re-parsed as literals;
+// cells holding plain text that is not a valid literal load as strings.
+func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
+	g := New()
+	nr := csv.NewReader(nodes)
+	nrecs, err := nr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("pg: reading node CSV: %w", err)
+	}
+	if len(nrecs) == 0 {
+		return nil, fmt.Errorf("pg: node CSV has no header")
+	}
+	nh := nrecs[0]
+	if len(nh) < 2 || nh[0] != "id" || nh[1] != "labels" {
+		return nil, fmt.Errorf("pg: node CSV header must start with id,labels")
+	}
+	for _, rec := range nrecs[1:] {
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: bad node id %q: %w", rec[0], err)
+		}
+		var labels []string
+		if rec[1] != "" {
+			labels = strings.Split(rec[1], ";")
+		}
+		props := Props{}
+		for i := 2; i < len(rec) && i < len(nh); i++ {
+			if rec[i] == "" {
+				continue
+			}
+			props[nh[i]] = parseCSVCell(rec[i])
+		}
+		if _, err := g.AddNodeWithID(OID(id), labels, props); err != nil {
+			return nil, err
+		}
+	}
+
+	er := csv.NewReader(edges)
+	erecs, err := er.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("pg: reading edge CSV: %w", err)
+	}
+	if len(erecs) == 0 {
+		return nil, fmt.Errorf("pg: edge CSV has no header")
+	}
+	eh := erecs[0]
+	if len(eh) < 4 || eh[0] != "id" || eh[1] != "label" || eh[2] != "from" || eh[3] != "to" {
+		return nil, fmt.Errorf("pg: edge CSV header must start with id,label,from,to")
+	}
+	for _, rec := range erecs[1:] {
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: bad edge id %q: %w", rec[0], err)
+		}
+		from, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: bad edge source %q: %w", rec[2], err)
+		}
+		to, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: bad edge target %q: %w", rec[3], err)
+		}
+		props := Props{}
+		for i := 4; i < len(rec) && i < len(eh); i++ {
+			if rec[i] == "" {
+				continue
+			}
+			props[eh[i]] = parseCSVCell(rec[i])
+		}
+		if _, err := g.AddEdgeWithID(OID(id), OID(from), OID(to), rec[1], props); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func nodesProps(nodes []*Node) []Props {
+	out := make([]Props, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Props
+	}
+	return out
+}
+
+func propColumns(ps []Props) []string {
+	seen := map[string]bool{}
+	for _, p := range ps {
+		for k := range p {
+			seen[k] = true
+		}
+	}
+	cols := make([]string, 0, len(seen))
+	for k := range seen {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+func csvCell(p Props, col string) string {
+	v, ok := p[col]
+	if !ok {
+		return ""
+	}
+	if v.K == value.String {
+		return strconv.Quote(v.S)
+	}
+	return v.String()
+}
+
+func parseCSVCell(s string) value.Value {
+	if v, err := value.ParseLiteral(s); err == nil {
+		return v
+	}
+	return value.Str(s)
+}

@@ -1,0 +1,415 @@
+// Package pg implements an embedded property-graph store.
+//
+// It realizes the (regular) property-graph definition of the paper
+// (Section 4): a finite set of nodes N, a set of edges E disjoint from N, an
+// incidence function μ : E → N², a partial labelling function λ over nodes
+// and edges, and a partial property function σ : (N ∪ E) × P → V.
+//
+// The store is used pervasively across the framework: the graph dictionaries
+// holding the super-model, the models, super-schemas and schemas are all
+// property graphs (Section 2.2 "Graph Dictionaries"), as are the instances of
+// the extensional component. Nodes may carry multiple labels, as required by
+// the property-graph target model of Section 5.2 ("nodes can be tagged with
+// multiple labels"); edges carry exactly one label.
+//
+// All iteration orders are deterministic (ascending OID) so that reasoning
+// results, rendered diagrams and benchmarks are reproducible. Graphs are not
+// safe for concurrent mutation; the framework's pipelines are single-writer
+// by construction (the paper's staging discussion in Section 6 batches all
+// writes).
+package pg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// OID is the internal object identifier of a node or edge. The paper assumes
+// every construct instance carries a unique internal OID (Section 3.1).
+type OID int64
+
+// Props is the property map σ restricted to one node or edge.
+type Props map[string]value.Value
+
+// Node is a vertex of the property graph.
+type Node struct {
+	ID     OID
+	Labels []string // sorted, unique
+	Props  Props
+}
+
+// HasLabel reports whether the node carries the given label.
+func (n *Node) HasLabel(label string) bool {
+	i := sort.SearchStrings(n.Labels, label)
+	return i < len(n.Labels) && n.Labels[i] == label
+}
+
+// Label returns the primary (first) label, or "" for an unlabeled node.
+func (n *Node) Label() string {
+	if len(n.Labels) == 0 {
+		return ""
+	}
+	return n.Labels[0]
+}
+
+// Edge is a directed, labeled edge of the property graph.
+type Edge struct {
+	ID    OID
+	Label string
+	From  OID
+	To    OID
+	Props Props
+}
+
+// Graph is a mutable in-memory property graph.
+//
+// The zero value is not usable; construct graphs with New.
+type Graph struct {
+	nodes map[OID]*Node
+	edges map[OID]*Edge
+	next  OID
+
+	byLabel     map[string][]OID // node OIDs per label, sorted
+	byEdgeLabel map[string][]OID // edge OIDs per label, sorted
+	out         map[OID][]OID    // node -> outgoing edge OIDs, sorted
+	in          map[OID][]OID    // node -> incoming edge OIDs, sorted
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:       make(map[OID]*Node),
+		edges:       make(map[OID]*Edge),
+		next:        1,
+		byLabel:     make(map[string][]OID),
+		byEdgeLabel: make(map[string][]OID),
+		out:         make(map[OID][]OID),
+		in:          make(map[OID][]OID),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+func normalizeLabels(labels []string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]string(nil), labels...)
+	sort.Strings(out)
+	j := 0
+	for i, l := range out {
+		if i == 0 || l != out[i-1] {
+			out[j] = l
+			j++
+		}
+	}
+	return out[:j]
+}
+
+func cloneProps(p Props) Props {
+	if p == nil {
+		return Props{}
+	}
+	out := make(Props, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// cloneEdgeProps keeps empty edge property maps nil: edges are never
+// mutated in place (unlike nodes, whose Props the materializers write), and
+// graphs at dictionary scale carry millions of property-less edges whose
+// empty maps would otherwise dominate allocation.
+func cloneEdgeProps(p Props) Props {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(Props, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// AddNode creates a node with the given labels and properties and returns it.
+func (g *Graph) AddNode(labels []string, props Props) *Node {
+	n := &Node{ID: g.next, Labels: normalizeLabels(labels), Props: cloneProps(props)}
+	g.next++
+	g.nodes[n.ID] = n
+	for _, l := range n.Labels {
+		g.byLabel[l] = insertSorted(g.byLabel[l], n.ID)
+	}
+	return n
+}
+
+// AddNodeWithID creates a node with a caller-chosen OID, used when importing
+// serialized graphs. It fails if the OID is already taken.
+func (g *Graph) AddNodeWithID(id OID, labels []string, props Props) (*Node, error) {
+	if _, ok := g.nodes[id]; ok {
+		return nil, fmt.Errorf("pg: node OID %d already exists", id)
+	}
+	if _, ok := g.edges[id]; ok {
+		return nil, fmt.Errorf("pg: OID %d already used by an edge", id)
+	}
+	n := &Node{ID: id, Labels: normalizeLabels(labels), Props: cloneProps(props)}
+	g.nodes[id] = n
+	if id >= g.next {
+		g.next = id + 1
+	}
+	for _, l := range n.Labels {
+		g.byLabel[l] = insertSorted(g.byLabel[l], n.ID)
+	}
+	return n, nil
+}
+
+// AddLabel adds a label to an existing node (used by the PG translation's
+// multi-label tagging strategy for generalizations).
+func (g *Graph) AddLabel(id OID, label string) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("pg: no node with OID %d", id)
+	}
+	if n.HasLabel(label) {
+		return nil
+	}
+	n.Labels = normalizeLabels(append(n.Labels, label))
+	g.byLabel[label] = insertSorted(g.byLabel[label], id)
+	return nil
+}
+
+// AddEdge creates a directed edge from one node to another.
+func (g *Graph) AddEdge(from, to OID, label string, props Props) (*Edge, error) {
+	if _, ok := g.nodes[from]; !ok {
+		return nil, fmt.Errorf("pg: edge source OID %d does not exist", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return nil, fmt.Errorf("pg: edge target OID %d does not exist", to)
+	}
+	e := &Edge{ID: g.next, Label: label, From: from, To: to, Props: cloneEdgeProps(props)}
+	g.next++
+	g.edges[e.ID] = e
+	g.byEdgeLabel[label] = insertSorted(g.byEdgeLabel[label], e.ID)
+	g.out[from] = insertSorted(g.out[from], e.ID)
+	g.in[to] = insertSorted(g.in[to], e.ID)
+	return e, nil
+}
+
+// MustAddEdge is AddEdge for callers that have just created both endpoints.
+// It panics on dangling endpoints, which indicates a programming error.
+func (g *Graph) MustAddEdge(from, to OID, label string, props Props) *Edge {
+	e, err := g.AddEdge(from, to, label, props)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// AddEdgeWithID creates an edge with a caller-chosen OID, for import.
+func (g *Graph) AddEdgeWithID(id, from, to OID, label string, props Props) (*Edge, error) {
+	if _, ok := g.edges[id]; ok {
+		return nil, fmt.Errorf("pg: edge OID %d already exists", id)
+	}
+	if _, ok := g.nodes[id]; ok {
+		return nil, fmt.Errorf("pg: OID %d already used by a node", id)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return nil, fmt.Errorf("pg: edge source OID %d does not exist", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return nil, fmt.Errorf("pg: edge target OID %d does not exist", to)
+	}
+	e := &Edge{ID: id, Label: label, From: from, To: to, Props: cloneEdgeProps(props)}
+	g.edges[id] = e
+	if id >= g.next {
+		g.next = id + 1
+	}
+	g.byEdgeLabel[label] = insertSorted(g.byEdgeLabel[label], e.ID)
+	g.out[from] = insertSorted(g.out[from], e.ID)
+	g.in[to] = insertSorted(g.in[to], e.ID)
+	return e, nil
+}
+
+// Node returns the node with the given OID, or nil.
+func (g *Graph) Node(id OID) *Node { return g.nodes[id] }
+
+// Edge returns the edge with the given OID, or nil.
+func (g *Graph) Edge(id OID) *Edge { return g.edges[id] }
+
+// Nodes returns all nodes in ascending OID order.
+func (g *Graph) Nodes() []*Node {
+	ids := make([]OID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sortOIDs(ids)
+	out := make([]*Node, len(ids))
+	for i, id := range ids {
+		out[i] = g.nodes[id]
+	}
+	return out
+}
+
+// Edges returns all edges in ascending OID order.
+func (g *Graph) Edges() []*Edge {
+	ids := make([]OID, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sortOIDs(ids)
+	out := make([]*Edge, len(ids))
+	for i, id := range ids {
+		out[i] = g.edges[id]
+	}
+	return out
+}
+
+// NodesByLabel returns the nodes carrying the given label, in OID order.
+func (g *Graph) NodesByLabel(label string) []*Node {
+	ids := g.byLabel[label]
+	out := make([]*Node, len(ids))
+	for i, id := range ids {
+		out[i] = g.nodes[id]
+	}
+	return out
+}
+
+// EdgesByLabel returns the edges carrying the given label, in OID order.
+func (g *Graph) EdgesByLabel(label string) []*Edge {
+	ids := g.byEdgeLabel[label]
+	out := make([]*Edge, len(ids))
+	for i, id := range ids {
+		out[i] = g.edges[id]
+	}
+	return out
+}
+
+// Out returns the outgoing edges of a node, in OID order.
+func (g *Graph) Out(id OID) []*Edge {
+	ids := g.out[id]
+	out := make([]*Edge, len(ids))
+	for i, eid := range ids {
+		out[i] = g.edges[eid]
+	}
+	return out
+}
+
+// In returns the incoming edges of a node, in OID order.
+func (g *Graph) In(id OID) []*Edge {
+	ids := g.in[id]
+	out := make([]*Edge, len(ids))
+	for i, eid := range ids {
+		out[i] = g.edges[eid]
+	}
+	return out
+}
+
+// OutDegree returns the number of outgoing edges of a node.
+func (g *Graph) OutDegree(id OID) int { return len(g.out[id]) }
+
+// InDegree returns the number of incoming edges of a node.
+func (g *Graph) InDegree(id OID) int { return len(g.in[id]) }
+
+// NodeLabels returns every node label present in the graph, sorted.
+func (g *Graph) NodeLabels() []string {
+	out := make([]string, 0, len(g.byLabel))
+	for l, ids := range g.byLabel {
+		if len(ids) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeLabels returns every edge label present in the graph, sorted.
+func (g *Graph) EdgeLabels() []string {
+	out := make([]string, 0, len(g.byEdgeLabel))
+	for l, ids := range g.byEdgeLabel {
+		if len(ids) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoveEdge deletes an edge.
+func (g *Graph) RemoveEdge(id OID) error {
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("pg: no edge with OID %d", id)
+	}
+	delete(g.edges, id)
+	g.byEdgeLabel[e.Label] = removeSorted(g.byEdgeLabel[e.Label], id)
+	g.out[e.From] = removeSorted(g.out[e.From], id)
+	g.in[e.To] = removeSorted(g.in[e.To], id)
+	return nil
+}
+
+// RemoveNode deletes a node together with all its incident edges.
+func (g *Graph) RemoveNode(id OID) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("pg: no node with OID %d", id)
+	}
+	for _, eid := range append(append([]OID(nil), g.out[id]...), g.in[id]...) {
+		if _, ok := g.edges[eid]; ok {
+			if err := g.RemoveEdge(eid); err != nil {
+				return err
+			}
+		}
+	}
+	delete(g.nodes, id)
+	for _, l := range n.Labels {
+		g.byLabel[l] = removeSorted(g.byLabel[l], id)
+	}
+	delete(g.out, id)
+	delete(g.in, id)
+	return nil
+}
+
+// Clone returns a deep copy of the graph, preserving all OIDs.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for _, n := range g.Nodes() {
+		if _, err := out.AddNodeWithID(n.ID, n.Labels, n.Props); err != nil {
+			panic(err) // cannot happen: source OIDs are unique
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := out.AddEdgeWithID(e.ID, e.From, e.To, e.Label, e.Props); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+func insertSorted(s []OID, id OID) []OID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func removeSorted(s []OID, id OID) []OID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+func sortOIDs(s []OID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,133 @@
+package supermodel
+
+// CompanyKG builds the reference super-schema of the Bank of Italy Company
+// Knowledge Graph (Figure 4), following the design walk-through of
+// Section 3.3 step by step:
+//
+//   - Person generalizes PhysicalPerson and LegalPerson (total, disjoint);
+//   - LegalPerson generalizes Business and NonBusiness (total, disjoint);
+//   - Business specializes into PublicListedCompany (non-total);
+//   - Share specializes into StockShare (non-total);
+//   - the HOLDS / BELONGS_TO decoupling allows multiple persons to hold one
+//     share, while the intensional OWNS and CONTROLS edges compactly expose
+//     property and control for the analysts;
+//   - Family, IS_RELATED_TO, BELONGS_TO_FAMILY and FAMILY_OWNS are the
+//     intensional family constructs;
+//   - BusinessEvent records mergers, acquisitions and splits via
+//     PARTICIPATES edges.
+//
+// CompanyKGOID is the schemaOID the paper's examples use (123).
+const CompanyKGOID = 123
+
+// CompanyKG returns the Figure 4 super-schema. The schema validates.
+func CompanyKG() *Schema {
+	s := NewSchema("CompanyKG", CompanyKGOID)
+
+	// «I will capture the structure by introducing distinct SM_Nodes for
+	// persons ... a Person generalizes and collects the common features.»
+	s.MustAddNode("Person", false,
+		Attr("fiscalCode", String).ID().With(UniqueModifier{}),
+	)
+	s.MustAddNode("PhysicalPerson", false,
+		Attr("name", String),
+		Attr("gender", String).With(EnumModifier{Values: []string{"female", "male", "other"}}),
+		Attr("birthDate", Date).Opt(),
+	)
+	s.MustAddNode("LegalPerson", false,
+		Attr("businessName", String),
+		Attr("legalNature", String),
+		Attr("website", String).Opt(),
+	)
+	s.MustAddGeneralization("PersonKind", "Person",
+		[]string{"PhysicalPerson", "LegalPerson"}, true, true)
+
+	// «The address is an autonomous business entity ... I will introduce a
+	// Place SM_Node.»
+	s.MustAddNode("Place", false,
+		Attr("street", String).ID(),
+		Attr("streetNumber", String).ID(),
+		Attr("city", String).ID(),
+		Attr("postalCode", String).ID(),
+		Attr("gpsCoordinates", String).Opt(),
+	)
+
+	// «I will introduce a further SM_Generalization by specializing the
+	// LegalPerson into a Business ... and a NonBusiness.»
+	s.MustAddNode("Business", false,
+		Attr("shareholdingCapital", Float),
+		Attr("numberOfStakeholders", Int).Opt().Intensional(),
+	)
+	s.MustAddNode("NonBusiness", false,
+		Attr("isGovernmental", Bool),
+	)
+	s.MustAddGeneralization("LegalPersonKind", "LegalPerson",
+		[]string{"Business", "NonBusiness"}, true, true)
+
+	// «One more specialization of Business ... PublicListedCompany; as a
+	// business can be publicly listed or not, the generalization will not
+	// be total.»
+	s.MustAddNode("PublicListedCompany", false,
+		Attr("stockExchange", String),
+		Attr("tickerSymbol", String).Opt(),
+	)
+	s.MustAddGeneralization("BusinessKind", "Business",
+		[]string{"PublicListedCompany"}, false, true)
+
+	// «I will introduce a Share SM_Node (which represents a portion of the
+	// business capital) ... stock shares as a specialization of Share.»
+	s.MustAddNode("Share", false,
+		Attr("shareCode", String).ID(),
+		Attr("percentage", Float).With(RangeModifier{Min: 0, Max: 1}),
+	)
+	s.MustAddNode("StockShare", false,
+		Attr("numberOfStocks", Int),
+	)
+	s.MustAddGeneralization("ShareKind", "Share",
+		[]string{"StockShare"}, false, true)
+
+	// «Each business can participate [in business events] through a
+	// PARTICIPATES SM_Edge with a specific role.»
+	s.MustAddNode("BusinessEvent", false,
+		Attr("eventCode", String).ID(),
+		Attr("type", String).With(EnumModifier{Values: []string{"merger", "acquisition", "split"}}),
+		Attr("date", Date),
+	)
+
+	// «Each PhysicalPerson has an intensional BELONGS_TO_FAMILY SM_Edge
+	// connecting it to a Family SM_Node.»
+	s.MustAddNode("Family", true,
+		Attr("familyName", String),
+	)
+
+	// Extensional relationships, placed on the topmost nodes of the
+	// generalization hierarchy that participate in them (Section 3.3).
+	s.MustAddEdge("RESIDES", false, "Person", "Place", ZeroToOne, ZeroToMany,
+		Attr("since", Date).Opt(),
+	)
+	s.MustAddEdge("HOLDS", false, "Person", "Share", ZeroToMany, OneToMany,
+		Attr("right", String).With(EnumModifier{Values: []string{"ownership", "bare ownership", "usufruct"}}),
+		Attr("percentage", Float),
+	)
+	s.MustAddEdge("BELONGS_TO", false, "Share", "Business", ExactlyOne, ZeroToMany)
+	s.MustAddEdge("HAS_ROLE", false, "Person", "LegalPerson", ZeroToMany, ZeroToMany,
+		Attr("role", String),
+		Attr("since", Date).Opt(),
+	)
+	s.MustAddEdge("REPRESENTS", false, "PhysicalPerson", "LegalPerson", ZeroToMany, ZeroToMany)
+	s.MustAddEdge("PARTICIPATES", false, "Business", "BusinessEvent", ZeroToMany, OneToMany,
+		Attr("role", String),
+	)
+
+	// Intensional relationships (dashed graphemes in GSL).
+	s.MustAddEdge("OWNS", true, "Person", "Business", ZeroToMany, ZeroToMany,
+		Attr("percentage", Float),
+	)
+	s.MustAddEdge("CONTROLS", true, "Person", "Business", ZeroToMany, ZeroToMany)
+	s.MustAddEdge("IS_RELATED_TO", true, "PhysicalPerson", "PhysicalPerson", ZeroToMany, ZeroToMany,
+		Attr("kind", String).Opt(),
+	)
+	s.MustAddEdge("BELONGS_TO_FAMILY", true, "PhysicalPerson", "Family", ZeroToOne, OneToMany)
+	s.MustAddEdge("FAMILY_OWNS", true, "Family", "Business", ZeroToMany, ZeroToMany)
+
+	return s
+}

@@ -1,0 +1,549 @@
+package vadalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analysis is the result of the static analysis of a program: safety,
+// stratification, recursion structure, and the wardedness and
+// piecewise-linearity properties that Section 4 relies on for decidability
+// and PTIME data complexity.
+type Analysis struct {
+	Prog *Program
+
+	// Strata holds rule indices grouped by stratum, in evaluation order.
+	// Rules within a stratum may be mutually recursive; negation and
+	// stratified aggregation only cross stratum boundaries.
+	Strata [][]int
+
+	// PredStratum maps every IDB predicate to its stratum index.
+	PredStratum map[string]int
+
+	// Recursive[i] reports whether rule i belongs to a recursive component
+	// and therefore takes part in semi-naive delta iteration.
+	Recursive []bool
+
+	// Warded reports whether every rule satisfies the wardedness condition;
+	// Violations lists the offending rules when it does not.
+	Warded     bool
+	Violations []string
+
+	// PiecewiseLinear reports whether every rule has at most one body atom
+	// mutually recursive with its head (the fragment the paper's translated
+	// path-pattern programs fall into).
+	PiecewiseLinear bool
+
+	// AffectedPositions holds the predicate positions that may carry labeled
+	// nulls, as "pred/i" strings, sorted. It drives the wardedness check.
+	AffectedPositions []string
+}
+
+// Analyze checks safety and computes stratification and the structural
+// properties of the program. It fails on unsafe or unstratifiable programs;
+// wardedness violations are reported in the result rather than failing,
+// because the engine (like the Vadalog System) can still execute such
+// programs when termination is otherwise guaranteed.
+func Analyze(p *Program) (*Analysis, error) {
+	a := &Analysis{Prog: p, PredStratum: map[string]int{}}
+	if err := checkSafety(p); err != nil {
+		return nil, err
+	}
+	if err := a.stratify(); err != nil {
+		return nil, err
+	}
+	a.findRecursion()
+	a.checkWardedness()
+	a.checkPiecewiseLinear()
+	return a, nil
+}
+
+// checkSafety verifies the usual Datalog safety conditions, adapted to
+// existential rules: every literal may only read variables bound by the
+// positive atoms and assignments preceding it, assignments bind fresh
+// variables, and head variables are either body-bound or existential.
+func checkSafety(p *Program) error {
+	for i, r := range p.Rules {
+		bound := map[string]bool{}
+		for _, l := range r.Body {
+			switch l.Kind {
+			case LitAtom:
+				for _, v := range l.Atom.Vars() {
+					bound[v] = true
+				}
+			case LitNegAtom:
+				for _, v := range l.Atom.Vars() {
+					// Anonymous variables act as wildcards in negated
+					// atoms (not p(X,_) means "no p fact with first
+					// component X").
+					if strings.HasPrefix(v, "_anon") {
+						continue
+					}
+					if !bound[v] {
+						return fmt.Errorf("vadalog: rule %d (line %d): variable %s in negated atom %s is not bound by preceding positive literals",
+							i, r.Line, v, l.Atom.Pred)
+					}
+				}
+			case LitExpr:
+				target, isAssign := l.Expr.assignTarget()
+				need := map[string]bool{}
+				if isAssign {
+					l.Expr.Right.vars(need)
+					// A monotonic aggregate's contributors must be bound;
+					// they are included by vars already.
+				} else {
+					l.Expr.vars(need)
+				}
+				for v := range need {
+					if !bound[v] {
+						return fmt.Errorf("vadalog: rule %d (line %d): variable %s in expression %s is not bound by preceding literals",
+							i, r.Line, v, l.Expr)
+					}
+				}
+				if isAssign {
+					if bound[target] {
+						// Var = expr over an already-bound variable is a
+						// condition (equality test), which is fine.
+						continue
+					}
+					if l.Expr.Right.Kind == ExprAggregate && l.Expr.Right.Agg.Op == "pack" && l.Expr.Right.Agg.Monotonic() {
+						return fmt.Errorf("vadalog: rule %d (line %d): pack cannot be monotonic", i, r.Line)
+					}
+					bound[target] = true
+				}
+			}
+		}
+		// Explicit Skolem terms may only use bound variables.
+		for _, h := range r.Head {
+			for _, t := range h.Args {
+				if st, ok := t.(SkolemTerm); ok {
+					for _, arg := range st.Args {
+						if v, ok := arg.(Var); ok && !bound[v.Name] {
+							return fmt.Errorf("vadalog: rule %d (line %d): Skolem functor %s uses unbound variable %s",
+								i, r.Line, st.Functor, v.Name)
+						}
+					}
+				}
+			}
+		}
+		// At most one aggregate per rule, and it must be the only
+		// non-condition use of its target.
+		aggs := 0
+		for _, l := range r.Body {
+			if l.Kind == LitExpr && l.Expr.findAggregate() != nil {
+				aggs++
+			}
+		}
+		if aggs > 1 {
+			return fmt.Errorf("vadalog: rule %d (line %d): at most one aggregate per rule", i, r.Line)
+		}
+	}
+	return nil
+}
+
+// hasStratifiedAggregate reports whether the rule contains a non-monotonic
+// aggregate, which forces its body predicates into strictly lower strata.
+func hasStratifiedAggregate(r Rule) bool {
+	for _, l := range r.Body {
+		if l.Kind == LitExpr {
+			if agg := l.Expr.findAggregate(); agg != nil && !agg.Monotonic() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stratify computes predicate strata: stratum(h) ≥ stratum(b) for positive
+// dependencies and stratum(h) > stratum(b) for negated or
+// stratified-aggregated dependencies. Rules are then grouped by the maximum
+// stratum of their head predicates.
+func (a *Analysis) stratify() error {
+	p := a.Prog
+	stratum := map[string]int{}
+	preds := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			preds[h.Pred] = true
+		}
+		for _, l := range r.Body {
+			if l.Kind == LitAtom || l.Kind == LitNegAtom {
+				preds[l.Atom.Pred] = true
+			}
+		}
+	}
+	maxIter := len(preds) + 1
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, r := range p.Rules {
+			strat := hasStratifiedAggregate(r)
+			for _, h := range r.Head {
+				for _, l := range r.Body {
+					if l.Kind != LitAtom && l.Kind != LitNegAtom {
+						continue
+					}
+					req := stratum[l.Atom.Pred]
+					if l.Kind == LitNegAtom || strat {
+						req++
+					}
+					if stratum[h.Pred] < req {
+						stratum[h.Pred] = req
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > maxIter {
+			return fmt.Errorf("vadalog: program is not stratifiable (negation or stratified aggregation through recursion)")
+		}
+	}
+	a.PredStratum = stratum
+
+	maxStratum := 0
+	for _, s := range stratum {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	a.Strata = make([][]int, maxStratum+1)
+	for i, r := range p.Rules {
+		s := 0
+		for _, h := range r.Head {
+			if stratum[h.Pred] > s {
+				s = stratum[h.Pred]
+			}
+		}
+		a.Strata[s] = append(a.Strata[s], i)
+	}
+	// Drop empty strata while preserving order.
+	var compact [][]int
+	for _, s := range a.Strata {
+		if len(s) > 0 {
+			compact = append(compact, s)
+		}
+	}
+	a.Strata = compact
+	return nil
+}
+
+// predSCCs computes strongly connected components of the predicate dependency
+// graph (positive and negative edges alike) and returns a component id per
+// predicate.
+func (a *Analysis) predSCCs() map[string]int {
+	adj := map[string][]string{}
+	preds := map[string]bool{}
+	addEdge := func(from, to string) {
+		adj[from] = append(adj[from], to)
+		preds[from], preds[to] = true, true
+	}
+	for _, r := range a.Prog.Rules {
+		for _, h := range r.Head {
+			preds[h.Pred] = true
+			for _, l := range r.Body {
+				if l.Kind == LitAtom || l.Kind == LitNegAtom {
+					addEdge(l.Atom.Pred, h.Pred)
+				}
+			}
+		}
+	}
+	// Iterative Tarjan over predicate names.
+	names := make([]string, 0, len(preds))
+	for p := range preds {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	counter, compID := 0, 0
+
+	type frame struct {
+		v    string
+		next int
+	}
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := adj[f.v]
+			advanced := false
+			for f.next < len(succ) {
+				w := succ[f.next]
+				f.next++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = compID
+					if w == f.v {
+						break
+					}
+				}
+				compID++
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				pf := &frames[len(frames)-1]
+				if low[v] < low[pf.v] {
+					low[pf.v] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// findRecursion marks the rules that participate in a recursive component.
+func (a *Analysis) findRecursion() {
+	comp := a.predSCCs()
+	// A component is recursive if it has >1 predicate or a self-loop.
+	selfLoop := map[string]bool{}
+	compSize := map[int]int{}
+	for p, c := range comp {
+		compSize[c]++
+		_ = p
+	}
+	for _, r := range a.Prog.Rules {
+		for _, h := range r.Head {
+			for _, l := range r.Body {
+				if (l.Kind == LitAtom || l.Kind == LitNegAtom) && l.Atom.Pred == h.Pred {
+					selfLoop[h.Pred] = true
+				}
+			}
+		}
+	}
+	recComp := map[int]bool{}
+	for p, c := range comp {
+		if compSize[c] > 1 || selfLoop[p] {
+			recComp[c] = true
+		}
+	}
+	a.Recursive = make([]bool, len(a.Prog.Rules))
+	for i, r := range a.Prog.Rules {
+		for _, h := range r.Head {
+			hc, ok := comp[h.Pred]
+			if !ok || !recComp[hc] {
+				continue
+			}
+			for _, l := range r.Body {
+				if (l.Kind == LitAtom || l.Kind == LitNegAtom) && comp[l.Atom.Pred] == hc {
+					a.Recursive[i] = true
+				}
+			}
+		}
+	}
+}
+
+// checkWardedness computes affected positions (positions that may carry
+// labeled nulls) and verifies that in every rule the "dangerous" variables —
+// body variables occurring only at affected positions and propagated to the
+// head — all appear in one single body atom, the ward (Section 4:
+// "Wardedness poses syntactical restrictions on the interplay of existential
+// quantification and recursion").
+func (a *Analysis) checkWardedness() {
+	p := a.Prog
+	type pos struct {
+		pred string
+		i    int
+	}
+	affected := map[pos]bool{}
+
+	// Seed: head positions of existential variables and Skolem terms.
+	for _, r := range p.Rules {
+		ex := map[string]bool{}
+		for _, v := range r.ExistentialVars() {
+			ex[v] = true
+		}
+		for _, h := range r.Head {
+			for i, t := range h.Args {
+				switch t := t.(type) {
+				case Var:
+					if ex[t.Name] {
+						affected[pos{h.Pred, i}] = true
+					}
+				case SkolemTerm:
+					affected[pos{h.Pred, i}] = true
+				}
+			}
+		}
+	}
+	// Propagate: a body variable occurring only at affected positions
+	// makes its head positions affected.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			onlyAffected := varsOnlyAtAffected(r, func(pr string, i int) bool { return affected[pos{pr, i}] })
+			for _, h := range r.Head {
+				for i, t := range h.Args {
+					if v, ok := t.(Var); ok && onlyAffected[v.Name] {
+						if !affected[pos{h.Pred, i}] {
+							affected[pos{h.Pred, i}] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for pp := range affected {
+		a.AffectedPositions = append(a.AffectedPositions, fmt.Sprintf("%s/%d", pp.pred, pp.i))
+	}
+	sort.Strings(a.AffectedPositions)
+
+	a.Warded = true
+	for ri, r := range p.Rules {
+		onlyAffected := varsOnlyAtAffected(r, func(pr string, i int) bool { return affected[pos{pr, i}] })
+		headVars := map[string]bool{}
+		for _, v := range r.HeadVars() {
+			headVars[v] = true
+		}
+		var dangerous []string
+		for v, oa := range onlyAffected {
+			if oa && headVars[v] {
+				dangerous = append(dangerous, v)
+			}
+		}
+		if len(dangerous) == 0 {
+			continue
+		}
+		sort.Strings(dangerous)
+		// All dangerous variables must co-occur in a single body atom.
+		found := false
+		for _, l := range r.Body {
+			if l.Kind != LitAtom {
+				continue
+			}
+			av := map[string]bool{}
+			for _, v := range l.Atom.Vars() {
+				av[v] = true
+			}
+			all := true
+			for _, dv := range dangerous {
+				if !av[dv] {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = true
+				break
+			}
+		}
+		if !found {
+			a.Warded = false
+			a.Violations = append(a.Violations,
+				fmt.Sprintf("rule %d (line %d): dangerous variables {%s} do not share a ward atom",
+					ri, r.Line, strings.Join(dangerous, ",")))
+		}
+	}
+}
+
+// varsOnlyAtAffected returns, for each variable of the rule body, whether all
+// its body occurrences are at affected positions. Variables with no positive
+// body occurrence are absent from the map.
+func varsOnlyAtAffected(r Rule, isAffected func(pred string, i int) bool) map[string]bool {
+	out := map[string]bool{}
+	for _, l := range r.Body {
+		if l.Kind != LitAtom {
+			continue
+		}
+		for i, t := range l.Atom.Args {
+			v, ok := t.(Var)
+			if !ok {
+				continue
+			}
+			onlyAff, seen := out[v.Name]
+			if !seen {
+				out[v.Name] = isAffected(l.Atom.Pred, i)
+				continue
+			}
+			out[v.Name] = onlyAff && isAffected(l.Atom.Pred, i)
+		}
+	}
+	return out
+}
+
+// checkPiecewiseLinear verifies that every rule has at most one body atom
+// whose predicate is mutually recursive with the rule's head. The translated
+// path-pattern programs of Section 4 fall into this fragment (Piecewise
+// Linear Datalog±).
+func (a *Analysis) checkPiecewiseLinear() {
+	comp := a.predSCCs()
+	compSize := map[int]int{}
+	for _, c := range comp {
+		compSize[c]++
+	}
+	selfLoop := map[string]bool{}
+	for _, r := range a.Prog.Rules {
+		for _, h := range r.Head {
+			for _, l := range r.Body {
+				if (l.Kind == LitAtom || l.Kind == LitNegAtom) && l.Atom.Pred == h.Pred {
+					selfLoop[h.Pred] = true
+				}
+			}
+		}
+	}
+	// A body atom is mutually recursive with the head if they share a
+	// component that is genuinely cyclic (size > 1, or a self-loop).
+	recursivePair := func(r Rule, bodyPred string) bool {
+		for _, h := range r.Head {
+			c, ok := comp[h.Pred]
+			if !ok || comp[bodyPred] != c {
+				continue
+			}
+			if compSize[c] > 1 || (h.Pred == bodyPred && selfLoop[h.Pred]) {
+				return true
+			}
+		}
+		return false
+	}
+	a.PiecewiseLinear = true
+	for _, r := range a.Prog.Rules {
+		recursiveAtoms := 0
+		for _, l := range r.Body {
+			if l.Kind != LitAtom && l.Kind != LitNegAtom {
+				continue
+			}
+			if recursivePair(r, l.Atom.Pred) {
+				recursiveAtoms++
+			}
+		}
+		if recursiveAtoms > 1 {
+			a.PiecewiseLinear = false
+			return
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package vadalog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestCSVFactsRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	db.MustAddFact("owns", value.Str("a"), value.Str("b"), value.FloatV(0.6))
+	db.MustAddFact("owns", value.Str("b,c"), value.Str(`quo"te`), value.IntV(7))
+	var buf bytes.Buffer
+	if err := WriteCSVFacts(db, "owns", &buf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewDatabase()
+	if err := LoadCSVFacts(back, "owns", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dump() != db.Dump() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", back.Dump(), db.Dump())
+	}
+}
+
+func TestRunWithCSVBindings(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "owns.csv"), []byte(
+		"\"a\",\"b\",0.6\n\"a\",\"c\",0.3\n\"b\",\"c\",0.3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "company.csv"), []byte(
+		"\"a\"\n\"b\"\n\"c\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`
+		controls(X, X) :- company(X).
+		controls(X, Y) :- controls(X, Z), owns(Z, Y, W), V = msum(W, <Z>), V > 0.5.
+		@input("company", "csv", "company.csv").
+		@input("owns", "csv", "owns.csv").
+		@output("controls").
+	`)
+	res, outputs, err := RunWithBindings(prog, Bindings{BaseDir: dir}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FactsDerived == 0 {
+		t.Fatal("nothing derived")
+	}
+	got := map[string]bool{}
+	for _, f := range outputs["controls"] {
+		got[f[0].S+"->"+f[1].S] = true
+	}
+	if !got["a->b"] || !got["a->c"] {
+		t.Errorf("controls = %v", got)
+	}
+
+	// Export and re-load.
+	out := t.TempDir()
+	if err := ExportOutputs(prog, res.DB, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(out, "controls.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reloaded := NewDatabase()
+	if err := LoadCSVFacts(reloaded, "controls", f); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Count("controls") != len(outputs["controls"]) {
+		t.Errorf("exported CSV lost facts: %d vs %d", reloaded.Count("controls"), len(outputs["controls"]))
+	}
+	if !strings.Contains(reloaded.Dump(), "controls(a,b)") {
+		t.Errorf("reloaded facts wrong:\n%s", reloaded.Dump())
+	}
+}
+
+func TestFactsDatasetBinding(t *testing.T) {
+	ds := NewDatabase()
+	ds.MustAddFact("edge", value.IntV(1), value.IntV(2))
+	prog := MustParse(`
+		tc(X,Y) :- edge(X,Y).
+		@input("edge", "facts", "edge").
+		@output("tc").
+	`)
+	_, outputs, err := RunWithBindings(prog, Bindings{Datasets: map[string]*Database{"edge": ds}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs["tc"]) != 1 {
+		t.Errorf("tc = %v", outputs["tc"])
+	}
+}
+
+func TestBindingsErrors(t *testing.T) {
+	prog := MustParse(`
+		p(X) :- q(X).
+		@input("q", "warp-drive", "x").
+	`)
+	if err := (Bindings{}).LoadInputs(prog, NewDatabase()); err == nil {
+		t.Error("unknown source kind must fail")
+	}
+	prog2 := MustParse(`
+		p(X) :- q(X).
+		@input("q", "csv", "does-not-exist.csv").
+	`)
+	if err := (Bindings{BaseDir: t.TempDir()}).LoadInputs(prog2, NewDatabase()); err == nil {
+		t.Error("missing csv must fail")
+	}
+	prog3 := MustParse(`
+		p(X) :- q(X).
+		@input("q", "facts", "nope").
+	`)
+	if err := (Bindings{Datasets: map[string]*Database{}}).LoadInputs(prog3, NewDatabase()); err == nil {
+		t.Error("missing dataset must fail")
+	}
+	// "pg" inputs are informational and skipped.
+	prog4 := MustParse(`
+		p(X) :- q(X).
+		@input("q", "pg", "(n:Q) return n").
+	`)
+	if err := (Bindings{}).LoadInputs(prog4, NewDatabase()); err != nil {
+		t.Errorf("pg inputs must be skipped, got %v", err)
+	}
+}

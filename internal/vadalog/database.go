@@ -1,0 +1,299 @@
+package vadalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Fact is a tuple of values, a member of a relation (Section 4, "Relational
+// Foundations"). Facts are immutable once inserted.
+type Fact []value.Value
+
+func (f Fact) String() string {
+	parts := make([]string, len(f))
+	for i, v := range f {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func encodeKey(vals []value.Value) string {
+	var buf [96]byte
+	b := buf[:0]
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = v.AppendCanonical(b)
+	}
+	return string(b)
+}
+
+// Relation is an append-only set of facts of a fixed arity with hash indexes.
+//
+// Facts keep their insertion order, which lets the semi-naive engine address
+// "old" and "delta" windows of the same relation by position ranges instead
+// of copying snapshots.
+type Relation struct {
+	Arity int
+	facts []Fact
+	dedup map[string]int // full-tuple key -> position
+
+	// indexes maps a bitmask of bound positions to an index from the
+	// projected key to ascending fact positions. Once built for a mask, an
+	// index is maintained incrementally by Insert.
+	indexes map[uint64]map[string][]int
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{
+		Arity:   arity,
+		dedup:   make(map[string]int),
+		indexes: make(map[uint64]map[string][]int),
+	}
+}
+
+// Len returns the number of facts.
+func (r *Relation) Len() int { return len(r.facts) }
+
+// At returns the fact at the given position.
+func (r *Relation) At(pos int) Fact { return r.facts[pos] }
+
+// Contains reports whether the tuple is already in the relation.
+func (r *Relation) Contains(f Fact) bool {
+	_, ok := r.dedup[encodeKey(f)]
+	return ok
+}
+
+// Insert adds a fact, reporting whether it was new. It is an error to insert
+// a fact of the wrong arity.
+func (r *Relation) Insert(f Fact) (bool, error) {
+	if len(f) != r.Arity {
+		return false, fmt.Errorf("vadalog: arity mismatch: relation has arity %d, fact has %d", r.Arity, len(f))
+	}
+	key := encodeKey(f)
+	if _, ok := r.dedup[key]; ok {
+		return false, nil
+	}
+	pos := len(r.facts)
+	r.dedup[key] = pos
+	r.facts = append(r.facts, f)
+	for mask, idx := range r.indexes {
+		pk := r.projectKey(f, mask)
+		idx[pk] = append(idx[pk], pos)
+	}
+	return true, nil
+}
+
+func (r *Relation) projectKey(f Fact, mask uint64) string {
+	var buf [96]byte
+	b := buf[:0]
+	first := true
+	for i := 0; i < r.Arity; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, 0)
+		}
+		first = false
+		b = f[i].AppendCanonical(b)
+	}
+	return string(b)
+}
+
+func (r *Relation) ensureIndex(mask uint64) map[string][]int {
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
+	}
+	idx := make(map[string][]int)
+	for pos, f := range r.facts {
+		pk := r.projectKey(f, mask)
+		idx[pk] = append(idx[pk], pos)
+	}
+	r.indexes[mask] = idx
+	return idx
+}
+
+// Lookup returns the ascending positions of facts whose values at the masked
+// positions equal boundVals (given in ascending position order). A zero mask
+// matches every fact.
+func (r *Relation) Lookup(mask uint64, boundVals []value.Value) []int {
+	if mask == 0 {
+		out := make([]int, len(r.facts))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	idx := r.ensureIndex(mask)
+	return idx[encodeKey(boundVals)]
+}
+
+// All returns all facts in insertion order. The returned slice must not be
+// modified.
+func (r *Relation) All() []Fact { return r.facts }
+
+// Sorted returns the facts sorted lexicographically by value order, for
+// deterministic output.
+func (r *Relation) Sorted() []Fact {
+	out := append([]Fact(nil), r.facts...)
+	sort.Slice(out, func(i, j int) bool { return factLess(out[i], out[j]) })
+	return out
+}
+
+func factLess(a, b Fact) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := value.Compare(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Database is a set of named relations: the (database) instance of Section 4.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Relation returns the named relation, or nil if absent.
+func (d *Database) Relation(pred string) *Relation { return d.rels[pred] }
+
+// EnsureRelation returns the named relation, creating it with the given arity
+// if absent. It is an error to re-declare a relation with a different arity.
+func (d *Database) EnsureRelation(pred string, arity int) (*Relation, error) {
+	if r, ok := d.rels[pred]; ok {
+		if r.Arity != arity {
+			return nil, fmt.Errorf("vadalog: predicate %s used with arity %d and %d", pred, r.Arity, arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(arity)
+	d.rels[pred] = r
+	return r, nil
+}
+
+// AddFact inserts a fact into the named relation, creating the relation on
+// first use. It reports whether the fact was new.
+func (d *Database) AddFact(pred string, vals ...value.Value) (bool, error) {
+	r, err := d.EnsureRelation(pred, len(vals))
+	if err != nil {
+		return false, err
+	}
+	return r.Insert(Fact(vals))
+}
+
+// MustAddFact is AddFact that panics on arity mismatch, for test fixtures and
+// generated loaders whose arity is known correct by construction.
+func (d *Database) MustAddFact(pred string, vals ...value.Value) {
+	if _, err := d.AddFact(pred, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Facts returns the facts of a predicate in insertion order, or nil.
+func (d *Database) Facts(pred string) []Fact {
+	r := d.rels[pred]
+	if r == nil {
+		return nil
+	}
+	return r.All()
+}
+
+// SortedFacts returns the facts of a predicate in deterministic value order.
+func (d *Database) SortedFacts(pred string) []Fact {
+	r := d.rels[pred]
+	if r == nil {
+		return nil
+	}
+	return r.Sorted()
+}
+
+// Count returns the number of facts of a predicate.
+func (d *Database) Count(pred string) int {
+	r := d.rels[pred]
+	if r == nil {
+		return 0
+	}
+	return r.Len()
+}
+
+// TotalFacts returns the number of facts across all relations.
+func (d *Database) TotalFacts() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Predicates returns the relation names, sorted.
+func (d *Database) Predicates() []string {
+	out := make([]string, 0, len(d.rels))
+	for p := range d.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the database (facts are shared, as they are
+// immutable; relation bookkeeping is copied).
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for pred, r := range d.rels {
+		nr := NewRelation(r.Arity)
+		for _, f := range r.All() {
+			if _, err := nr.Insert(f); err != nil {
+				panic(err) // same arity by construction
+			}
+		}
+		out.rels[pred] = nr
+	}
+	return out
+}
+
+// MergeInto copies every fact of d into dst. It reports the number of facts
+// that were new in dst.
+func (d *Database) MergeInto(dst *Database) (int, error) {
+	added := 0
+	for _, pred := range d.Predicates() {
+		r := d.rels[pred]
+		dr, err := dst.EnsureRelation(pred, r.Arity)
+		if err != nil {
+			return added, err
+		}
+		for _, f := range r.All() {
+			ok, err := dr.Insert(f)
+			if err != nil {
+				return added, err
+			}
+			if ok {
+				added++
+			}
+		}
+	}
+	return added, nil
+}
+
+// Dump renders the database deterministically, for tests and debugging.
+func (d *Database) Dump() string {
+	var b strings.Builder
+	for _, pred := range d.Predicates() {
+		for _, f := range d.SortedFacts(pred) {
+			b.WriteString(pred)
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

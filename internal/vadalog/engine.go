@@ -1,0 +1,1085 @@
+package vadalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/value"
+)
+
+// Options configures a reasoning run.
+type Options struct {
+	// RequireWarded rejects programs that fail the wardedness check instead
+	// of merely reporting the violation in the analysis.
+	RequireWarded bool
+	// MaxRounds bounds the number of fixpoint rounds per stratum, as a
+	// safety valve against non-terminating chases. 0 means the default.
+	MaxRounds int
+	// MaxFacts bounds the total number of derived facts. 0 means unlimited.
+	MaxFacts int
+	// Naive disables semi-naive delta evaluation: every fixpoint round
+	// re-evaluates every rule against the full relations. Exists for the
+	// evaluation-strategy ablation benchmarks; always slower.
+	Naive bool
+	// Provenance records, for every derived fact, the rule and body facts of
+	// its first derivation, enabling Result.Explain. Costs memory
+	// proportional to the derived facts.
+	Provenance bool
+}
+
+const defaultMaxRounds = 1 << 20
+
+// RunStats summarizes a reasoning run.
+type RunStats struct {
+	Rounds       int
+	FactsDerived int
+	Duration     time.Duration
+}
+
+// Result is the outcome of a reasoning run: the saturated database Σ(D), the
+// static analysis, and run statistics. When the run recorded provenance,
+// Explain reconstructs proof trees for derived facts.
+type Result struct {
+	DB       *Database
+	Analysis *Analysis
+	Stats    RunStats
+
+	prov map[string]derivation
+}
+
+// Output returns the derived facts for a predicate in deterministic order.
+func (r *Result) Output(pred string) []Fact { return r.DB.SortedFacts(pred) }
+
+// Run executes the program over the input database and returns the saturated
+// result. The input database is not modified.
+func Run(prog *Program, input *Database, opts Options) (*Result, error) {
+	return RunInPlace(prog, input.Clone(), opts)
+}
+
+// RunInPlace is Run but saturates the given database directly, avoiding the
+// copy. The database is extended with the derived facts.
+func RunInPlace(prog *Program, db *Database, opts Options) (*Result, error) {
+	start := time.Now()
+	an, err := Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RequireWarded && !an.Warded {
+		return nil, fmt.Errorf("vadalog: program is not warded: %s", strings.Join(an.Violations, "; "))
+	}
+	e := &engine{prog: prog, an: an, db: db, opts: opts}
+	if e.opts.MaxRounds == 0 {
+		e.opts.MaxRounds = defaultMaxRounds
+	}
+	if e.opts.Provenance {
+		e.prov = map[string]derivation{}
+	}
+	if err := e.prepare(); err != nil {
+		return nil, err
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		DB:       db,
+		Analysis: an,
+		Stats:    RunStats{Rounds: e.rounds, FactsDerived: e.derived, Duration: time.Since(start)},
+		prov:     e.prov,
+	}, nil
+}
+
+// engine holds the state of one reasoning run.
+type engine struct {
+	prog *Program
+	an   *Analysis
+	db   *Database
+	opts Options
+
+	rules   []*cRule
+	rounds  int
+	derived int
+
+	// Provenance bookkeeping (Options.Provenance): the stack of body facts
+	// matched by the evaluation in progress, and the first derivation of
+	// every derived fact.
+	parentStack []parentRef
+	inStratAgg  bool
+	prov        map[string]derivation
+}
+
+type stepKind uint8
+
+const (
+	stepJoin stepKind = iota
+	stepNeg
+	stepCond
+	stepAssign
+	stepAgg
+)
+
+// cStep is a compiled body literal.
+type cStep struct {
+	kind stepKind
+	pred string
+
+	// For join/neg steps: per-position description of the atom arguments.
+	argConst []value.Value // constant at position, or zero Value
+	argSlot  []int         // variable slot at position, or -1 for constants
+	// binderPos are positions whose variable is first bound by this step;
+	// checkPos are positions repeating a variable bound earlier in the same
+	// step (p(X,X) with X fresh).
+	binderPos []int
+	checkPos  []int
+	// staticMask/staticKey cover positions bound before this step begins
+	// (constants and variables bound by earlier steps).
+	staticMask     uint64
+	staticKeySlots []int         // slots in position order, -1 for const
+	staticKeyConst []value.Value // const per masked position (when slot -1)
+
+	expr       *Expr
+	assignSlot int // stepAssign: target slot; -1 when the expr is a condition
+
+	agg          *Aggregate
+	aggMonotonic bool
+}
+
+// cHeadArg describes one head atom argument.
+type cHeadArg struct {
+	kind    headArgKind
+	cval    value.Value
+	slot    int
+	exName  string     // existential variable
+	functor string     // explicit Skolem functor
+	skArgs  []cHeadArg // Skolem arguments (const or slot only)
+}
+
+type headArgKind uint8
+
+const (
+	headConst headArgKind = iota
+	headSlot
+	headExist
+	headSkolem
+)
+
+type cHead struct {
+	pred string
+	args []cHeadArg
+}
+
+// aggAccum is the accumulator of one aggregate group.
+type aggAccum struct {
+	seen  map[string]bool
+	sum   float64
+	prod  float64
+	count int64
+	min   value.Value
+	max   value.Value
+	// packItems collects name=value pairs for pack.
+	packItems []string
+	// groupVals keeps the group variable values for stratified emission.
+	groupVals []value.Value
+	allInts   bool
+}
+
+func newAggAccum() *aggAccum {
+	return &aggAccum{seen: map[string]bool{}, prod: 1, allInts: true}
+}
+
+func (a *aggAccum) update(op string, v value.Value, v2 value.Value) error {
+	switch op {
+	case "count":
+		a.count++
+	case "sum", "avg":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("vadalog: %s over non-numeric value %s", op, v)
+		}
+		if v.K != value.Int {
+			a.allInts = false
+		}
+		a.sum += f
+		a.count++
+	case "prod":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("vadalog: prod over non-numeric value %s", v)
+		}
+		if v.K != value.Int {
+			a.allInts = false
+		}
+		a.prod *= f
+		a.count++
+	case "min":
+		if a.count == 0 || value.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+		a.count++
+	case "max":
+		if a.count == 0 || value.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+		a.count++
+	case "pack":
+		a.packItems = append(a.packItems, v.String()+"="+v2.String())
+		a.count++
+	default:
+		return fmt.Errorf("vadalog: unknown aggregate %q", op)
+	}
+	return nil
+}
+
+func (a *aggAccum) current(op string) value.Value {
+	switch op {
+	case "count":
+		return value.IntV(a.count)
+	case "sum":
+		if a.allInts {
+			return value.IntV(int64(a.sum))
+		}
+		return value.FloatV(a.sum)
+	case "avg":
+		if a.count == 0 {
+			return value.FloatV(0)
+		}
+		return value.FloatV(a.sum / float64(a.count))
+	case "prod":
+		if a.allInts {
+			return value.IntV(int64(a.prod))
+		}
+		return value.FloatV(a.prod)
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	case "pack":
+		items := append([]string(nil), a.packItems...)
+		sort.Strings(items)
+		return value.Str(strings.Join(items, "|"))
+	default:
+		return value.Value{}
+	}
+}
+
+// cRule is a compiled rule with its evaluation plan.
+type cRule struct {
+	idx   int
+	rule  Rule
+	slots map[string]int
+	steps []cStep
+	heads []cHead
+
+	// existFunctors maps each existential head variable to its generated
+	// Skolem functor name; frontierSlots are the universal head variable
+	// slots, in sorted name order, used as Skolem arguments.
+	existNames    []string
+	existFunctors map[string]string
+	frontierSlots []int
+
+	aggStep    int // index into steps of the aggregate assignment, or -1
+	stratAgg   bool
+	groupSlots []int // slots of the grouping variables (stratified + monotonic)
+	aggState   map[string]*aggAccum
+
+	// touchesGrow reports whether any body atom reads a predicate that grows
+	// during this rule's stratum fixpoint; growOccs are the indices of such
+	// join steps.
+	growOccs []int
+}
+
+// slotEnv adapts the slot array to the expression Env interface.
+type slotEnv struct {
+	slots []value.Value
+	names map[string]int
+}
+
+func (s slotEnv) Lookup(name string) (value.Value, bool) {
+	i, ok := s.names[name]
+	if !ok {
+		return value.Value{}, false
+	}
+	v := s.slots[i]
+	return v, !v.IsZero()
+}
+
+// prepare validates arities, creates relations for every predicate, and
+// compiles all rules.
+func (e *engine) prepare() error {
+	arities := map[string]int{}
+	note := func(pred string, n int, line int) error {
+		if prev, ok := arities[pred]; ok && prev != n {
+			return fmt.Errorf("vadalog: line %d: predicate %s used with arity %d and %d", line, pred, n, prev)
+		}
+		arities[pred] = n
+		return nil
+	}
+	for _, r := range e.prog.Rules {
+		for _, h := range r.Head {
+			if err := note(h.Pred, len(h.Args), r.Line); err != nil {
+				return err
+			}
+		}
+		for _, l := range r.Body {
+			if l.Kind == LitAtom || l.Kind == LitNegAtom {
+				if err := note(l.Atom.Pred, len(l.Atom.Args), r.Line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for pred, n := range arities {
+		if rel := e.db.Relation(pred); rel != nil {
+			if rel.Arity != n {
+				return fmt.Errorf("vadalog: predicate %s has arity %d in program but %d in database", pred, n, rel.Arity)
+			}
+			continue
+		}
+		if _, err := e.db.EnsureRelation(pred, n); err != nil {
+			return err
+		}
+	}
+	for i := range e.prog.Rules {
+		cr, err := e.compileRule(i)
+		if err != nil {
+			return err
+		}
+		e.rules = append(e.rules, cr)
+	}
+	return nil
+}
+
+func (e *engine) compileRule(idx int) (*cRule, error) {
+	r := e.prog.Rules[idx]
+	cr := &cRule{idx: idx, rule: r, slots: map[string]int{}, aggStep: -1,
+		existFunctors: map[string]string{}, aggState: map[string]*aggAccum{}}
+	slotOf := func(name string) int {
+		if s, ok := cr.slots[name]; ok {
+			return s
+		}
+		s := len(cr.slots)
+		cr.slots[name] = s
+		return s
+	}
+
+	bound := map[string]bool{}
+	for _, l := range r.Body {
+		switch l.Kind {
+		case LitAtom, LitNegAtom:
+			st := cStep{kind: stepJoin, pred: l.Atom.Pred}
+			if l.Kind == LitNegAtom {
+				st.kind = stepNeg
+			}
+			n := len(l.Atom.Args)
+			st.argConst = make([]value.Value, n)
+			st.argSlot = make([]int, n)
+			boundInStep := map[string]bool{}
+			for i, t := range l.Atom.Args {
+				switch t := t.(type) {
+				case Const:
+					st.argSlot[i] = -1
+					st.argConst[i] = t.Value
+					st.staticMask |= 1 << uint(i)
+					st.staticKeySlots = append(st.staticKeySlots, -1)
+					st.staticKeyConst = append(st.staticKeyConst, t.Value)
+				case Var:
+					slot := slotOf(t.Name)
+					st.argSlot[i] = slot
+					switch {
+					case bound[t.Name]:
+						st.staticMask |= 1 << uint(i)
+						st.staticKeySlots = append(st.staticKeySlots, slot)
+						st.staticKeyConst = append(st.staticKeyConst, value.Value{})
+					case boundInStep[t.Name]:
+						st.checkPos = append(st.checkPos, i)
+					default:
+						if l.Kind == LitNegAtom {
+							// Anonymous variables in negated atoms act as
+							// wildcards (checked by safety for named vars).
+							continue
+						}
+						st.binderPos = append(st.binderPos, i)
+						boundInStep[t.Name] = true
+					}
+				default:
+					return nil, fmt.Errorf("vadalog: rule %d (line %d): Skolem terms are not allowed in bodies", idx, r.Line)
+				}
+			}
+			if l.Kind == LitAtom {
+				for name := range boundInStep {
+					bound[name] = true
+				}
+			}
+			cr.steps = append(cr.steps, st)
+		case LitExpr:
+			target, isAssign := l.Expr.assignTarget()
+			if isAssign && !bound[target] {
+				st := cStep{pred: "", expr: l.Expr.Right, assignSlot: slotOf(target)}
+				if agg := l.Expr.findAggregate(); agg != nil {
+					st.kind = stepAgg
+					st.agg = agg
+					st.aggMonotonic = agg.Monotonic()
+					if cr.aggStep >= 0 {
+						return nil, fmt.Errorf("vadalog: rule %d (line %d): multiple aggregates", idx, r.Line)
+					}
+					cr.aggStep = len(cr.steps)
+					cr.stratAgg = !agg.Monotonic()
+				} else {
+					st.kind = stepAssign
+				}
+				bound[target] = true
+				cr.steps = append(cr.steps, st)
+			} else {
+				cr.steps = append(cr.steps, cStep{kind: stepCond, expr: l.Expr, assignSlot: -1})
+			}
+		}
+	}
+
+	// Heads: resolve slots, existentials and Skolem functors.
+	exVars := map[string]bool{}
+	for _, v := range r.ExistentialVars() {
+		exVars[v] = true
+		cr.existNames = append(cr.existNames, v)
+		cr.existFunctors[v] = fmt.Sprintf("ex_r%d_%s", idx, v)
+	}
+	sort.Strings(cr.existNames)
+	// Frontier: universal head variables, sorted by name for determinism.
+	var frontier []string
+	for _, v := range r.HeadVars() {
+		if !exVars[v] {
+			frontier = append(frontier, v)
+		}
+	}
+	sort.Strings(frontier)
+	for _, v := range frontier {
+		s, ok := cr.slots[v]
+		if !ok {
+			return nil, fmt.Errorf("vadalog: rule %d (line %d): head variable %s neither bound nor existential", idx, r.Line, v)
+		}
+		cr.frontierSlots = append(cr.frontierSlots, s)
+	}
+
+	var compileHeadArg func(t Term) (cHeadArg, error)
+	compileHeadArg = func(t Term) (cHeadArg, error) {
+		switch t := t.(type) {
+		case Const:
+			return cHeadArg{kind: headConst, cval: t.Value}, nil
+		case Var:
+			if exVars[t.Name] {
+				return cHeadArg{kind: headExist, exName: t.Name}, nil
+			}
+			return cHeadArg{kind: headSlot, slot: cr.slots[t.Name]}, nil
+		case SkolemTerm:
+			ha := cHeadArg{kind: headSkolem, functor: t.Functor}
+			for _, a := range t.Args {
+				sub, err := compileHeadArg(a)
+				if err != nil {
+					return cHeadArg{}, err
+				}
+				if sub.kind == headExist || sub.kind == headSkolem {
+					return cHeadArg{}, fmt.Errorf("vadalog: rule %d: Skolem arguments must be universal variables or constants", idx)
+				}
+				ha.skArgs = append(ha.skArgs, sub)
+			}
+			return ha, nil
+		default:
+			return cHeadArg{}, fmt.Errorf("vadalog: rule %d: unsupported head term", idx)
+		}
+	}
+	for _, h := range r.Head {
+		ch := cHead{pred: h.Pred}
+		for _, t := range h.Args {
+			ha, err := compileHeadArg(t)
+			if err != nil {
+				return nil, err
+			}
+			ch.args = append(ch.args, ha)
+		}
+		cr.heads = append(cr.heads, ch)
+	}
+
+	// Grouping variables for aggregates: head variables bound by the body,
+	// excluding the aggregate target, in sorted name order.
+	if cr.aggStep >= 0 {
+		target := -1
+		target = cr.steps[cr.aggStep].assignSlot
+		groupNames := map[string]bool{}
+		for _, v := range r.HeadVars() {
+			if exVars[v] {
+				continue
+			}
+			if s, ok := cr.slots[v]; ok && s != target {
+				groupNames[v] = true
+			}
+		}
+		var names []string
+		for n := range groupNames {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			cr.groupSlots = append(cr.groupSlots, cr.slots[n])
+		}
+	}
+
+	// Empty-body rules must be ground facts.
+	if len(r.Body) == 0 {
+		for _, h := range r.Head {
+			for _, t := range h.Args {
+				if _, ok := t.(Const); !ok {
+					return nil, fmt.Errorf("vadalog: rule %d (line %d): facts must be ground", idx, r.Line)
+				}
+			}
+		}
+	}
+	return cr, nil
+}
+
+// run evaluates the program stratum by stratum.
+func (e *engine) run() error {
+	for _, stratum := range e.an.Strata {
+		if err := e.runStratum(stratum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *engine) runStratum(ruleIdxs []int) error {
+	// Predicates that grow during this stratum's fixpoint.
+	grow := map[string]bool{}
+	for _, ri := range ruleIdxs {
+		for _, h := range e.prog.Rules[ri].Head {
+			grow[h.Pred] = true
+		}
+	}
+	var fixpointRules []*cRule
+	var stratAggRules []*cRule
+	for _, ri := range ruleIdxs {
+		cr := e.rules[ri]
+		cr.growOccs = cr.growOccs[:0]
+		for si, st := range cr.steps {
+			if st.kind == stepJoin && grow[st.pred] {
+				cr.growOccs = append(cr.growOccs, si)
+			}
+		}
+		if cr.stratAgg {
+			stratAggRules = append(stratAggRules, cr)
+		} else {
+			fixpointRules = append(fixpointRules, cr)
+		}
+	}
+
+	// Stratified-aggregate rules read only lower strata; run them once,
+	// before the fixpoint, so their results feed the stratum's other rules.
+	for _, cr := range stratAggRules {
+		if _, err := e.evalStratifiedAgg(cr); err != nil {
+			return err
+		}
+	}
+
+	// Round 0: full evaluation of every rule.
+	startLens := e.lens()
+	total := 0
+	for _, cr := range fixpointRules {
+		n, err := e.evalRule(cr, fullWindows{})
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// Delta rounds (or full naive re-evaluation when requested).
+	prev := startLens
+	for round := 1; ; round++ {
+		e.rounds++
+		if round > e.opts.MaxRounds {
+			return fmt.Errorf("vadalog: fixpoint did not converge within %d rounds", e.opts.MaxRounds)
+		}
+		cur := e.lens()
+		inserted := 0
+		for _, cr := range fixpointRules {
+			if len(cr.growOccs) == 0 {
+				continue
+			}
+			if e.opts.Naive {
+				n, err := e.evalRule(cr, fullWindows{})
+				if err != nil {
+					return err
+				}
+				inserted += n
+				continue
+			}
+			for _, occ := range cr.growOccs {
+				w := deltaWindows{prev: prev, cur: cur, deltaStep: occ, growOccs: cr.growOccs}
+				n, err := e.evalRule(cr, w)
+				if err != nil {
+					return err
+				}
+				inserted += n
+			}
+		}
+		if inserted == 0 {
+			return nil
+		}
+		prev = cur
+	}
+}
+
+// lens snapshots the current length of every relation.
+func (e *engine) lens() map[string]int {
+	out := make(map[string]int, len(e.db.rels))
+	for pred, r := range e.db.rels {
+		out[pred] = r.Len()
+	}
+	return out
+}
+
+// windows abstracts the fact windows visible to each join step of a rule
+// evaluation variant.
+type windows interface {
+	// rangeFor returns the [lo,hi) fact positions visible at step si; hi of
+	// -1 means "live" (all facts currently in the relation).
+	rangeFor(si int, pred string) (int, int)
+}
+
+// fullWindows sees everything (round-0 and non-recursive evaluation).
+type fullWindows struct{}
+
+func (fullWindows) rangeFor(int, string) (int, int) { return 0, -1 }
+
+// deltaWindows implements the standard semi-naive decomposition: the
+// designated occurrence reads only the delta window, occurrences of growing
+// predicates before it read the pre-delta prefix, later ones read everything.
+type deltaWindows struct {
+	prev, cur map[string]int
+	deltaStep int
+	growOccs  []int
+}
+
+func (w deltaWindows) rangeFor(si int, pred string) (int, int) {
+	isGrow := false
+	for _, o := range w.growOccs {
+		if o == si {
+			isGrow = true
+			break
+		}
+	}
+	if !isGrow {
+		return 0, -1
+	}
+	switch {
+	case si == w.deltaStep:
+		return w.prev[pred], w.cur[pred]
+	case si < w.deltaStep:
+		return 0, w.prev[pred]
+	default:
+		return 0, -1
+	}
+}
+
+// evalRule evaluates a rule under the given windows, returning the number of
+// new facts inserted.
+func (e *engine) evalRule(cr *cRule, w windows) (int, error) {
+	slots := make([]value.Value, len(cr.slots))
+	inserted := 0
+	var step func(si int) error
+	step = func(si int) error {
+		if si == len(cr.steps) {
+			n, err := e.emit(cr, slots)
+			inserted += n
+			return err
+		}
+		st := &cr.steps[si]
+		switch st.kind {
+		case stepJoin:
+			rel := e.db.Relation(st.pred)
+			lo, hi := w.rangeFor(si, st.pred)
+			if hi < 0 {
+				hi = rel.Len()
+			}
+			if lo >= hi {
+				return nil
+			}
+			keyVals := e.stepKey(st, slots)
+			positions := rel.Lookup(st.staticMask, keyVals)
+			// positions are ascending; restrict to [lo,hi).
+			from := sort.SearchInts(positions, lo)
+			for _, pos := range positions[from:] {
+				if pos >= hi {
+					break
+				}
+				f := rel.At(pos)
+				for _, i := range st.binderPos {
+					slots[st.argSlot[i]] = f[i]
+				}
+				// checkPos positions repeat a variable whose binder is
+				// earlier in this same atom, so check after binding.
+				ok := true
+				for _, i := range st.checkPos {
+					if !value.Equal(f[i], slots[st.argSlot[i]]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if e.prov != nil {
+						e.parentStack = append(e.parentStack, parentRef{pred: st.pred, pos: pos})
+					}
+					err := step(si + 1)
+					if e.prov != nil {
+						e.parentStack = e.parentStack[:len(e.parentStack)-1]
+					}
+					if err != nil {
+						return err
+					}
+				}
+				for _, i := range st.binderPos {
+					slots[st.argSlot[i]] = value.Value{}
+				}
+			}
+			return nil
+		case stepNeg:
+			rel := e.db.Relation(st.pred)
+			keyVals := e.stepKey(st, slots)
+			positions := rel.Lookup(st.staticMask, keyVals)
+			if len(positions) > 0 {
+				return nil // some matching fact exists: negation fails
+			}
+			return step(si + 1)
+		case stepCond:
+			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+			if err != nil {
+				return err
+			}
+			if v.K != value.Bool {
+				return fmt.Errorf("vadalog: rule %d (line %d): condition %s is not boolean", cr.idx, cr.rule.Line, st.expr)
+			}
+			if !v.B {
+				return nil
+			}
+			return step(si + 1)
+		case stepAssign:
+			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+			if err != nil {
+				return err
+			}
+			slots[st.assignSlot] = v
+			err = step(si + 1)
+			slots[st.assignSlot] = value.Value{}
+			return err
+		case stepAgg:
+			return e.stepMonotonicAgg(cr, st, slots, func() error { return step(si + 1) })
+		default:
+			return fmt.Errorf("vadalog: invalid step kind")
+		}
+	}
+	if err := step(0); err != nil {
+		return 0, err
+	}
+	return inserted, nil
+}
+
+// stepKey extracts the lookup key values for the statically bound positions.
+func (e *engine) stepKey(st *cStep, slots []value.Value) []value.Value {
+	if st.staticMask == 0 {
+		return nil
+	}
+	out := make([]value.Value, len(st.staticKeySlots))
+	for i, slot := range st.staticKeySlots {
+		if slot < 0 {
+			out[i] = st.staticKeyConst[i]
+		} else {
+			out[i] = slots[slot]
+		}
+	}
+	return out
+}
+
+// stepMonotonicAgg advances one body match through a monotonic aggregate:
+// unseen contributor tuples update the group accumulator and continue with
+// the new running value bound; seen contributors are pruned, which both
+// guarantees convergence and makes re-derivations across semi-naive rounds
+// harmless (DESIGN.md, "Monotonic aggregation").
+func (e *engine) stepMonotonicAgg(cr *cRule, st *cStep, slots []value.Value, cont func() error) error {
+	group := make([]value.Value, len(cr.groupSlots))
+	for i, s := range cr.groupSlots {
+		group[i] = slots[s]
+	}
+	gkey := encodeKey(group)
+	acc, ok := cr.aggState[gkey]
+	if !ok {
+		acc = newAggAccum()
+		cr.aggState[gkey] = acc
+	}
+	contrib := make([]value.Value, len(st.agg.Contributors))
+	for i, name := range st.agg.Contributors {
+		v, ok := slotEnv{slots: slots, names: cr.slots}.Lookup(name)
+		if !ok {
+			return fmt.Errorf("vadalog: rule %d: contributor %s unbound", cr.idx, name)
+		}
+		contrib[i] = v
+	}
+	ckey := encodeKey(contrib)
+	if acc.seen[ckey] {
+		return nil
+	}
+	acc.seen[ckey] = true
+	var av value.Value
+	if st.agg.Arg != nil {
+		v, err := st.agg.Arg.Eval(slotEnv{slots: slots, names: cr.slots})
+		if err != nil {
+			return err
+		}
+		av = v
+	}
+	if err := acc.update(st.agg.Op, av, value.Value{}); err != nil {
+		return err
+	}
+	slots[st.assignSlot] = acc.current(st.agg.Op)
+	err := cont()
+	slots[st.assignSlot] = value.Value{}
+	return err
+}
+
+// evalStratifiedAgg evaluates a rule containing a stratified aggregate: it
+// enumerates all body matches up to the aggregate, groups them, computes the
+// aggregate per group, then applies the remaining conditions and emits heads.
+func (e *engine) evalStratifiedAgg(cr *cRule) (int, error) {
+	slots := make([]value.Value, len(cr.slots))
+	groups := map[string]*aggAccum{}
+	aggSt := &cr.steps[cr.aggStep]
+
+	var collect func(si int) error
+	collect = func(si int) error {
+		if si == cr.aggStep {
+			group := make([]value.Value, len(cr.groupSlots))
+			for i, s := range cr.groupSlots {
+				group[i] = slots[s]
+			}
+			gkey := encodeKey(group)
+			acc, ok := groups[gkey]
+			if !ok {
+				acc = newAggAccum()
+				acc.groupVals = group
+				groups[gkey] = acc
+			}
+			// Contributor-free aggregates absorb every distinct body match;
+			// listed contributors would make the aggregate monotonic, so they
+			// cannot reach this path.
+			var av, av2 value.Value
+			if aggSt.agg.Arg != nil {
+				v, err := aggSt.agg.Arg.Eval(slotEnv{slots: slots, names: cr.slots})
+				if err != nil {
+					return err
+				}
+				av = v
+			}
+			if aggSt.agg.Arg2 != nil {
+				v, err := aggSt.agg.Arg2.Eval(slotEnv{slots: slots, names: cr.slots})
+				if err != nil {
+					return err
+				}
+				av2 = v
+			}
+			return acc.update(aggSt.agg.Op, av, av2)
+		}
+		st := &cr.steps[si]
+		switch st.kind {
+		case stepJoin:
+			rel := e.db.Relation(st.pred)
+			keyVals := e.stepKey(st, slots)
+			positions := rel.Lookup(st.staticMask, keyVals)
+			hi := rel.Len()
+			for _, pos := range positions {
+				if pos >= hi {
+					break
+				}
+				f := rel.At(pos)
+				for _, i := range st.binderPos {
+					slots[st.argSlot[i]] = f[i]
+				}
+				ok := true
+				for _, i := range st.checkPos {
+					if !value.Equal(f[i], slots[st.argSlot[i]]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if err := collect(si + 1); err != nil {
+						return err
+					}
+				}
+				for _, i := range st.binderPos {
+					slots[st.argSlot[i]] = value.Value{}
+				}
+			}
+			return nil
+		case stepNeg:
+			rel := e.db.Relation(st.pred)
+			keyVals := e.stepKey(st, slots)
+			if len(rel.Lookup(st.staticMask, keyVals)) > 0 {
+				return nil
+			}
+			return collect(si + 1)
+		case stepCond:
+			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil
+			}
+			return collect(si + 1)
+		case stepAssign:
+			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+			if err != nil {
+				return err
+			}
+			slots[st.assignSlot] = v
+			err = collect(si + 1)
+			slots[st.assignSlot] = value.Value{}
+			return err
+		default:
+			return fmt.Errorf("vadalog: unexpected step before stratified aggregate")
+		}
+	}
+	if err := collect(0); err != nil {
+		return 0, err
+	}
+
+	// Emit one result per group, running the post-aggregate steps.
+	gkeys := make([]string, 0, len(groups))
+	for k := range groups {
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+	inserted := 0
+	e.inStratAgg = true
+	defer func() { e.inStratAgg = false }()
+	for _, gkey := range gkeys {
+		acc := groups[gkey]
+		for i := range slots {
+			slots[i] = value.Value{}
+		}
+		for i, s := range cr.groupSlots {
+			slots[s] = acc.groupVals[i]
+		}
+		slots[aggSt.assignSlot] = acc.current(aggSt.agg.Op)
+		ok := true
+		for si := cr.aggStep + 1; si < len(cr.steps); si++ {
+			st := &cr.steps[si]
+			switch st.kind {
+			case stepCond:
+				v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+				if err != nil {
+					return inserted, err
+				}
+				if !v.Truthy() {
+					ok = false
+				}
+			case stepAssign:
+				v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+				if err != nil {
+					return inserted, err
+				}
+				slots[st.assignSlot] = v
+			default:
+				return inserted, fmt.Errorf("vadalog: rule %d (line %d): atoms may not follow a stratified aggregate", cr.idx, cr.rule.Line)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		n, err := e.emit(cr, slots)
+		if err != nil {
+			return inserted, err
+		}
+		inserted += n
+	}
+	return inserted, nil
+}
+
+// emit instantiates the rule heads under the current slots and inserts the
+// resulting facts. Existential variables are realized with frontier-keyed
+// Skolem identifiers shared across the head conjunction.
+func (e *engine) emit(cr *cRule, slots []value.Value) (int, error) {
+	var exVals map[string]value.Value
+	if len(cr.existNames) > 0 {
+		frontier := make([]value.Value, len(cr.frontierSlots))
+		for i, s := range cr.frontierSlots {
+			frontier[i] = slots[s]
+		}
+		exVals = make(map[string]value.Value, len(cr.existNames))
+		for _, name := range cr.existNames {
+			exVals[name] = value.Skolem(cr.existFunctors[name], frontier...)
+		}
+	}
+	var resolve func(ha *cHeadArg) (value.Value, error)
+	resolve = func(ha *cHeadArg) (value.Value, error) {
+		switch ha.kind {
+		case headConst:
+			return ha.cval, nil
+		case headSlot:
+			v := slots[ha.slot]
+			if v.IsZero() {
+				return value.Value{}, fmt.Errorf("vadalog: rule %d: unbound head slot", cr.idx)
+			}
+			return v, nil
+		case headExist:
+			return exVals[ha.exName], nil
+		case headSkolem:
+			args := make([]value.Value, len(ha.skArgs))
+			for i := range ha.skArgs {
+				v, err := resolve(&ha.skArgs[i])
+				if err != nil {
+					return value.Value{}, err
+				}
+				args[i] = v
+			}
+			return value.Skolem(ha.functor, args...), nil
+		default:
+			return value.Value{}, fmt.Errorf("vadalog: invalid head argument")
+		}
+	}
+	inserted := 0
+	for hi := range cr.heads {
+		h := &cr.heads[hi]
+		f := make(Fact, len(h.args))
+		for i := range h.args {
+			v, err := resolve(&h.args[i])
+			if err != nil {
+				return inserted, err
+			}
+			f[i] = v
+		}
+		rel := e.db.Relation(h.pred)
+		added, err := rel.Insert(f)
+		if err != nil {
+			return inserted, err
+		}
+		if added {
+			if e.prov != nil {
+				d := derivation{ruleIdx: cr.idx, line: cr.rule.Line, viaAggregate: e.inStratAgg}
+				if !e.inStratAgg {
+					d.parents = append([]parentRef(nil), e.parentStack...)
+				}
+				e.prov[provKey(h.pred, f)] = d
+			}
+			inserted++
+			e.derived++
+			if e.opts.MaxFacts > 0 && e.derived > e.opts.MaxFacts {
+				return inserted, fmt.Errorf("vadalog: derived fact limit %d exceeded", e.opts.MaxFacts)
+			}
+		}
+	}
+	return inserted, nil
+}

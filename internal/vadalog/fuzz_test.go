@@ -1,0 +1,29 @@
+package vadalog
+
+import "testing"
+
+// FuzzParse exercises the Vadalog parser for panics and round-trip
+// stability: any program that parses must reparse from its own printed form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`p(X) :- q(X).`,
+		`controls(X,Y) :- controls(X,Z), owns(Z,Y,W), V = msum(W,<Z>), V > 0.5.`,
+		`p(X, #f(X)) :- q(X), not r(X, _), X > 3, Y = concat(X, "s").`,
+		`@input("a","csv","x.csv"). @output("p").`,
+		`p("unterminated`,
+		`p(1.5e3) :- q(0.5).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := prog.String()
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printed form does not reparse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+	})
+}

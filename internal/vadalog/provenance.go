@@ -1,0 +1,121 @@
+package vadalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Provenance: when Options.Provenance is set, the engine records, for every
+// derived fact, the rule and the body facts of its first derivation. Explain
+// then reconstructs the full proof tree down to the ground data — the
+// "why is this company controlled?" question supervision analysts ask of the
+// intensional component.
+
+// parentRef identifies one body fact of a derivation by relation and
+// position (relations are append-only, so positions are stable).
+type parentRef struct {
+	pred string
+	pos  int
+}
+
+// derivation records how a fact was first derived.
+type derivation struct {
+	ruleIdx int
+	line    int
+	parents []parentRef
+	// viaAggregate marks derivations through a stratified aggregate, whose
+	// parents are the whole group rather than one body match.
+	viaAggregate bool
+}
+
+// ProofNode is one node of a proof tree: a fact together with the rule that
+// derived it and the proofs of its body facts. Ground facts have no rule.
+type ProofNode struct {
+	Pred string
+	Fact Fact
+
+	// Rule is the 0-based index of the deriving rule, -1 for ground facts.
+	Rule int
+	// Line is the rule's source line, 0 for ground facts.
+	Line int
+	// ViaAggregate marks derivations through a stratified aggregate.
+	ViaAggregate bool
+
+	Parents []*ProofNode
+}
+
+// IsGround reports whether the node is an input fact.
+func (p *ProofNode) IsGround() bool { return p.Rule < 0 }
+
+// String renders the proof tree with indentation.
+func (p *ProofNode) String() string {
+	var b strings.Builder
+	p.render(&b, "")
+	return b.String()
+}
+
+func (p *ProofNode) render(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	b.WriteString(p.Pred)
+	b.WriteString(p.Fact.String())
+	switch {
+	case p.IsGround():
+		b.WriteString("   [ground]")
+	case p.ViaAggregate:
+		fmt.Fprintf(b, "   [rule %d, line %d, via aggregate]", p.Rule, p.Line)
+	default:
+		fmt.Fprintf(b, "   [rule %d, line %d]", p.Rule, p.Line)
+	}
+	b.WriteByte('\n')
+	for _, par := range p.Parents {
+		par.render(b, indent+"  ")
+	}
+}
+
+// Size returns the number of nodes in the proof tree.
+func (p *ProofNode) Size() int {
+	n := 1
+	for _, par := range p.Parents {
+		n += par.Size()
+	}
+	return n
+}
+
+// provKey identifies a fact across relations.
+func provKey(pred string, f Fact) string {
+	return pred + "\x00" + encodeKey(f)
+}
+
+// Explain reconstructs the proof tree of a derived fact, down to the ground
+// data. It requires the run to have been executed with Options.Provenance.
+// maxDepth bounds the tree (0 means unlimited); deeper branches are
+// truncated into leaf nodes marked as derived without parents.
+func (r *Result) Explain(pred string, f Fact, maxDepth int) (*ProofNode, error) {
+	if r.prov == nil {
+		return nil, fmt.Errorf("vadalog: run without Options.Provenance; nothing to explain")
+	}
+	rel := r.DB.Relation(pred)
+	if rel == nil || !rel.Contains(f) {
+		return nil, fmt.Errorf("vadalog: fact %s%s not in the result", pred, f)
+	}
+	return r.explain(pred, f, maxDepth, 0), nil
+}
+
+func (r *Result) explain(pred string, f Fact, maxDepth, depth int) *ProofNode {
+	node := &ProofNode{Pred: pred, Fact: f, Rule: -1}
+	d, ok := r.prov[provKey(pred, f)]
+	if !ok {
+		return node // ground fact
+	}
+	node.Rule = d.ruleIdx
+	node.Line = d.line
+	node.ViaAggregate = d.viaAggregate
+	if maxDepth > 0 && depth >= maxDepth {
+		return node
+	}
+	for _, pr := range d.parents {
+		pf := r.DB.Relation(pr.pred).At(pr.pos)
+		node.Parents = append(node.Parents, r.explain(pr.pred, pf, maxDepth, depth+1))
+	}
+	return node
+}

@@ -1,0 +1,181 @@
+package vadalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestExplainTransitiveClosure(t *testing.T) {
+	prog := MustParse(`
+		tc(X,Y) :- edge(X,Y).
+		tc(X,Z) :- tc(X,Y), edge(Y,Z).
+	`)
+	db := NewDatabase()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		db.MustAddFact("edge", value.Str(e[0]), value.Str(e[1]))
+	}
+	res, err := Run(prog, db, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := res.Explain("tc", Fact{value.Str("a"), value.Str("d")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tc(a,d) <- tc(a,c) <- tc(a,b) <- edge(a,b); plus edge(b,c), edge(c,d).
+	if proof.IsGround() || proof.Rule != 1 {
+		t.Errorf("root rule = %d", proof.Rule)
+	}
+	if proof.Size() != 6 {
+		t.Errorf("proof size = %d, want 6\n%s", proof.Size(), proof)
+	}
+	// Every leaf is ground.
+	var checkLeaves func(p *ProofNode)
+	grounds := 0
+	checkLeaves = func(p *ProofNode) {
+		if len(p.Parents) == 0 {
+			if !p.IsGround() {
+				t.Errorf("non-ground leaf: %s%s", p.Pred, p.Fact)
+			}
+			grounds++
+		}
+		for _, par := range p.Parents {
+			checkLeaves(par)
+		}
+	}
+	checkLeaves(proof)
+	if grounds != 3 {
+		t.Errorf("ground leaves = %d, want the 3 edges", grounds)
+	}
+	text := proof.String()
+	if !strings.Contains(text, "[ground]") || !strings.Contains(text, "[rule 1, line 3]") {
+		t.Errorf("rendering:\n%s", text)
+	}
+}
+
+func TestExplainControl(t *testing.T) {
+	prog := MustParse(`
+		controls(X, X) :- company(X).
+		controls(X, Y) :- controls(X, Z), owns(Z, Y, W), V = msum(W, <Z>), V > 0.5.
+	`)
+	db := NewDatabase()
+	for _, c := range []string{"a", "b", "c"} {
+		db.MustAddFact("company", value.Str(c))
+	}
+	db.MustAddFact("owns", value.Str("a"), value.Str("b"), value.FloatV(0.6))
+	db.MustAddFact("owns", value.Str("a"), value.Str("c"), value.FloatV(0.3))
+	db.MustAddFact("owns", value.Str("b"), value.Str("c"), value.FloatV(0.3))
+	res, err := Run(prog, db, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Why does a control c? The proof must bottom out in the ownership data
+	// and the self-control seed.
+	proof, err := res.Explain("controls", Fact{value.Str("a"), value.Str("c")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := proof.String()
+	for _, want := range []string{"owns(", "company(a)", "[ground]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("proof missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainDepthLimit(t *testing.T) {
+	prog := MustParse(`
+		tc(X,Y) :- edge(X,Y).
+		tc(X,Z) :- tc(X,Y), edge(Y,Z).
+	`)
+	db := NewDatabase()
+	prev := "n0"
+	for i := 1; i <= 10; i++ {
+		next := prev[:1] + string(rune('0'+i))
+		db.MustAddFact("edge", value.Str(prev), value.Str(next))
+		prev = next
+	}
+	res, err := Run(prog, db, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := res.Explain("tc", Fact{value.Str("n0"), value.Str(prev)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := res.Explain("tc", Fact{value.Str("n0"), value.Str(prev)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Size() >= full.Size() {
+		t.Errorf("depth cap had no effect: %d vs %d", capped.Size(), full.Size())
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	db := NewDatabase()
+	db.MustAddFact("q", value.IntV(1))
+	res, err := Run(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Explain("p", Fact{value.IntV(1)}, 0); err == nil {
+		t.Error("Explain without Provenance must fail")
+	}
+	res2, err := Run(prog, db, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res2.Explain("p", Fact{value.IntV(99)}, 0); err == nil {
+		t.Error("Explain of an absent fact must fail")
+	}
+	if _, err := res2.Explain("p", Fact{value.IntV(1)}, 0); err != nil {
+		t.Errorf("valid explain failed: %v", err)
+	}
+}
+
+func TestExplainStratifiedAggregate(t *testing.T) {
+	prog := MustParse(`
+		total(G, S) :- sale(G, V), S = sum(V).
+	`)
+	db := NewDatabase()
+	db.MustAddFact("sale", value.Str("g"), value.IntV(2))
+	db.MustAddFact("sale", value.Str("g"), value.IntV(3))
+	res, err := Run(prog, db, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := res.Explain("total", Fact{value.Str("g"), value.IntV(5)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proof.ViaAggregate {
+		t.Errorf("aggregate derivation not marked: %s", proof)
+	}
+}
+
+func TestProvenanceOffByDefaultCostsNothing(t *testing.T) {
+	prog := MustParse(`
+		tc(X,Y) :- edge(X,Y).
+		tc(X,Z) :- tc(X,Y), edge(Y,Z).
+	`)
+	db := randomEdgeDB(3, 15, 40)
+	res, err := Run(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.prov != nil {
+		t.Error("provenance recorded without the option")
+	}
+	// Results are identical either way.
+	res2, err := Run(prog, db, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.Dump() != res2.DB.Dump() {
+		t.Error("provenance must not change the derived facts")
+	}
+}
