@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test test-race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# test-race is part of tier-1 verification: the full suite under the race
+# detector, plus one short iteration of the parallel-evaluation benchmarks
+# (E1 graph statistics and E11 path-pattern reasoning) so the sharded
+# fixpoint and the concurrent statistics tasks run under -race at benchmark
+# scale too.
+test-race: build
+	$(GO) test -race ./...
+	$(GO) test -race -run '^$$' -bench 'BenchmarkE11DescFrom|BenchmarkE1GraphStats' -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -12,13 +12,19 @@
 //	kgbench -experiment figures
 //	kgbench -experiment ablation -scales 1000,5000
 //	kgbench -experiment closelinks -scales 500,2000
+//	kgbench -experiment scaling -scales 2000,8000 -workers 8
 //	kgbench -experiment all
+//
+// -workers sets the parallelism of the reasoning fixpoint and of the
+// statistics computation (default: all CPUs; see the "Parallel evaluation"
+// sections of DESIGN.md and EXPERIMENTS.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -35,9 +41,10 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "stats, control, phases, figures, ablation, closelinks, groups, or all")
+	experiment := flag.String("experiment", "all", "stats, control, phases, figures, ablation, closelinks, groups, scaling, or all")
 	scales := flag.String("scales", "1000,5000,20000", "comma-separated company counts")
 	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for reasoning and statistics (1 = sequential)")
 	flag.Parse()
 
 	var ns []int
@@ -49,19 +56,20 @@ func main() {
 		ns = append(ns, n)
 	}
 
-	run := map[string]func([]int, int64){
+	run := map[string]func([]int, int64, int){
 		"stats":      runStats,
 		"control":    runControl,
 		"phases":     runPhases,
-		"figures":    func([]int, int64) { runFigures() },
+		"figures":    func([]int, int64, int) { runFigures() },
 		"ablation":   runAblation,
 		"closelinks": runCloseLinks,
 		"groups":     runGroups,
+		"scaling":    runScaling,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"stats", "control", "phases", "figures", "ablation", "closelinks", "groups"} {
+		for _, name := range []string{"stats", "control", "phases", "figures", "ablation", "closelinks", "groups", "scaling"} {
 			fmt.Printf("==== %s ====\n", name)
-			run[name](ns, *seed)
+			run[name](ns, *seed, *workers)
 			fmt.Println()
 		}
 		return
@@ -70,11 +78,11 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown experiment %q", *experiment))
 	}
-	f(ns, *seed)
+	f(ns, *seed, *workers)
 }
 
 // runStats is experiment E1: the Section 2.1 statistics table across scales.
-func runStats(scales []int, seed int64) {
+func runStats(scales []int, seed int64, workers int) {
 	fmt.Println("E1 — Section 2.1 graph statistics (synthetic shareholding graph)")
 	fmt.Println("paper (11.97M nodes): 11.96M SCCs (avg 1, max 1.9k); >1.3M WCCs (avg 9, max >6M);")
 	fmt.Println("avg in-deg 3.12, out-deg 1.78; max in-deg 16.9k, out-deg 5.1k; clustering 0.0086")
@@ -82,14 +90,14 @@ func runStats(scales []int, seed int64) {
 		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
 		g := topo.Shareholding()
 		start := time.Now()
-		s := graphstats.Compute(g)
+		s := graphstats.ComputeWorkers(g, workers)
 		fmt.Printf("\n-- companies=%d (computed in %v)\n%s", n, time.Since(start).Round(time.Millisecond), s.Table())
 	}
 }
 
 // runControl is experiment E10: the control sweep — MetaLog pipeline
 // (Example 4.1), plain Vadalog (Example 4.2) and the native baseline.
-func runControl(scales []int, seed int64) {
+func runControl(scales []int, seed int64, workers int) {
 	fmt.Println("E10 — company control (Examples 4.1/4.2): MetaLog pipeline vs Vadalog vs native")
 	fmt.Printf("%-10s %-8s %-8s %-14s %-14s %-14s %-8s\n",
 		"companies", "nodes", "edges", "metalog", "vadalog", "native", "pairs")
@@ -104,7 +112,7 @@ func runControl(scales []int, seed int64) {
 		if err != nil {
 			fatal(err)
 		}
-		mlRes, err := metalog.Reason(prog, g, vadalog.Options{})
+		mlRes, err := metalog.Reason(prog, g, vadalog.Options{Workers: workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -123,7 +131,7 @@ func runControl(scales []int, seed int64) {
 		}
 		vStart := time.Now()
 		vprog := vadalog.MustParse(finance.ControlVadalog())
-		if _, err := vadalog.RunInPlace(vprog, db, vadalog.Options{}); err != nil {
+		if _, err := vadalog.RunInPlace(vprog, db, vadalog.Options{Workers: workers}); err != nil {
 			fatal(err)
 		}
 		vDur := time.Since(vStart)
@@ -141,7 +149,7 @@ func runControl(scales []int, seed int64) {
 // runPhases is experiment E14: the Algorithm 2 load / reason / flush
 // breakdown of Section 6 (the paper reports ~160 min reasoning vs ~15 min
 // loading+flushing on the production KG).
-func runPhases(scales []int, seed int64) {
+func runPhases(scales []int, seed int64, workers int) {
 	fmt.Println("E14 — Algorithm 2 phase breakdown (Section 6): reasoning should dominate load+flush")
 	fmt.Printf("%-10s %-10s %-14s %-14s %-14s %-10s\n", "companies", "entities", "load", "reason", "flush", "reason/IO")
 	sigma := metalog.MustParse(`
@@ -167,7 +175,7 @@ func runPhases(scales []int, seed int64) {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := instance.Materialize(d, instance.PGSource{Data: data}, sigma, 1, vadalog.Options{})
+		res, err := instance.Materialize(d, instance.PGSource{Data: data}, sigma, 1, vadalog.Options{Workers: workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -228,7 +236,7 @@ func runFigures() {
 
 // runAblation covers A1-A3: monotonic vs naive evaluation for control, and
 // MetaLog vs native schema translation under both PG strategies.
-func runAblation(scales []int, seed int64) {
+func runAblation(scales []int, seed int64, workers int) {
 	fmt.Println("A2 — semi-naive vs naive fixpoint (control program, Example 4.2 layout)")
 	fmt.Printf("%-10s %-14s %-14s %-8s\n", "companies", "semi-naive", "naive", "speedup")
 	for _, n := range scales {
@@ -274,7 +282,7 @@ func runAblation(scales []int, seed int64) {
 			fatal(err)
 		}
 		t0 := time.Now()
-		if _, err := models.Translate(dict, m, vadalog.Options{}); err != nil {
+		if _, err := models.Translate(dict, m, vadalog.Options{Workers: workers}); err != nil {
 			fatal(err)
 		}
 		mlDur := time.Since(t0)
@@ -293,7 +301,7 @@ func runAblation(scales []int, seed int64) {
 }
 
 // runCloseLinks sweeps the close-links computation (integrated ownership).
-func runCloseLinks(scales []int, seed int64) {
+func runCloseLinks(scales []int, seed int64, _ int) {
 	fmt.Println("Close links over integrated ownership (ECB threshold 20%)")
 	fmt.Printf("%-10s %-10s %-14s %-8s\n", "companies", "entities", "time", "links")
 	for _, n := range scales {
@@ -307,7 +315,7 @@ func runCloseLinks(scales []int, seed int64) {
 }
 
 // runGroups sweeps company-group derivation from the control relation.
-func runGroups(scales []int, seed int64) {
+func runGroups(scales []int, seed int64, _ int) {
 	fmt.Println("Company groups (ultimate controllers over the control relation)")
 	fmt.Printf("%-10s %-8s %-8s %-10s\n", "companies", "pairs", "groups", "largest")
 	for _, n := range scales {
@@ -322,6 +330,53 @@ func runGroups(scales []int, seed int64) {
 			}
 		}
 		fmt.Printf("%-10d %-8d %-8d %-10d\n", n, len(pairs), len(groups), largest)
+	}
+}
+
+// runScaling is experiment E16: worker-count scaling of the parallel
+// fixpoint on a transitive-closure workload (the descendant relation over
+// ownership edges). Unlike the control programs, it has no monotonic
+// aggregate, so the sharded engine engages; the derived relations are
+// checked to be identical across worker counts.
+func runScaling(scales []int, seed int64, workers int) {
+	fmt.Println("E16 — parallel fixpoint scaling (ownership reachability, no monotonic aggregates)")
+	fmt.Printf("%-10s %-8s %-10s %-14s %-14s %-8s\n",
+		"companies", "edges", "reachable", "workers=1", fmt.Sprintf("workers=%d", workers), "speedup")
+	prog := vadalog.MustParse(`
+		reach(X,Y) :- owns(X,Y,P).
+		reach(X,Z) :- reach(X,Y), owns(Y,Z,P).
+	`)
+	for _, n := range scales {
+		topo := fingraph.GenerateTopology(fingraph.DefaultConfig(n, seed))
+		own := finance.BuildOwnership(topo)
+		db := vadalog.NewDatabase()
+		edges := 0
+		for owner, stakes := range own.Out {
+			for _, st := range stakes {
+				db.MustAddFact("owns", value.IntV(int64(owner)), value.IntV(int64(st.Company)), value.FloatV(st.Pct))
+				edges++
+			}
+		}
+		t0 := time.Now()
+		seq, err := vadalog.Run(prog, db, vadalog.Options{Workers: 1})
+		if err != nil {
+			fatal(err)
+		}
+		seqDur := time.Since(t0)
+		t1 := time.Now()
+		par, err := vadalog.Run(prog, db, vadalog.Options{Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		parDur := time.Since(t1)
+		if seq.DB.Count("reach") != par.DB.Count("reach") {
+			fatal(fmt.Errorf("worker counts disagree: %d vs %d reach facts",
+				seq.DB.Count("reach"), par.DB.Count("reach")))
+		}
+		fmt.Printf("%-10d %-8d %-10d %-14v %-14v %-8.2fx\n",
+			n, edges, par.DB.Count("reach"),
+			seqDur.Round(time.Microsecond), parDur.Round(time.Microsecond),
+			float64(seqDur)/float64(parDur))
 	}
 }
 

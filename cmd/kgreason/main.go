@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -36,6 +37,7 @@ func main() {
 	out := flag.String("out", "", "write the enriched graph to this file (default stdout)")
 	components := flag.String("component", "ownership,control", "comma-separated built-in components to run, in order")
 	sigma := flag.String("sigma", "", "additional MetaLog program file to run last")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for the reasoning fixpoint (1 = sequential)")
 	flag.Parse()
 
 	if *in == "" {
@@ -79,7 +81,7 @@ func main() {
 		}
 	}
 
-	res, err := kg.Materialize(core.PGData(data), 1, vadalog.Options{})
+	res, err := kg.Materialize(core.PGData(data), 1, vadalog.Options{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

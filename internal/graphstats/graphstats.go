@@ -8,8 +8,11 @@ package graphstats
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/pg"
 )
@@ -46,11 +49,22 @@ type Stats struct {
 	PowerLawXMin  int
 }
 
-// Compute derives all statistics for the graph. The clustering coefficient is
-// computed on the undirected simple projection of the graph; for graphs with
-// more than maxClusteringNodes nodes it is estimated on a deterministic
-// sample of nodes, which is standard practice at the scale of Section 2.1.
-func Compute(g *pg.Graph) Stats {
+// Compute derives all statistics for the graph, using every available CPU.
+// The clustering coefficient is computed on the undirected simple projection
+// of the graph; for graphs with more than maxClusteringNodes nodes it is
+// estimated on a deterministic sample of nodes, which is standard practice at
+// the scale of Section 2.1.
+func Compute(g *pg.Graph) Stats { return ComputeWorkers(g, runtime.NumCPU()) }
+
+// ComputeWorkers is Compute with an explicit degree of parallelism. The four
+// independent analyses — SCC, WCC, degree statistics with the power-law fit,
+// and clustering — run as concurrent tasks, and the clustering sample is
+// additionally sharded across workers. The result is identical for every
+// workers value: the graph is read-only during computation, the analyses
+// share no state, and the clustering partial sums are reduced in a fixed
+// shard order that does not depend on the worker count (the workers == 1
+// path folds the very same shards in the very same order).
+func ComputeWorkers(g *pg.Graph, workers int) Stats {
 	const maxClusteringNodes = 200_000
 
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
@@ -58,7 +72,44 @@ func Compute(g *pg.Graph) Stats {
 		return s
 	}
 
-	sccs := SCC(g)
+	var sccs, wccs [][]pg.OID
+	runTasks(workers,
+		func() { sccs = SCC(g) },
+		func() { wccs = WCC(g) },
+		func() {
+			var inSum, outSum, inActive, outActive int
+			var indegrees []int
+			for _, n := range g.Nodes() {
+				in, out := g.InDegree(n.ID), g.OutDegree(n.ID)
+				inSum += in
+				outSum += out
+				if in > 0 {
+					inActive++
+				}
+				if out > 0 {
+					outActive++
+				}
+				if in > s.MaxInDegree {
+					s.MaxInDegree = in
+				}
+				if out > s.MaxOutDegree {
+					s.MaxOutDegree = out
+				}
+				indegrees = append(indegrees, in)
+			}
+			s.AvgInDegreeAll = float64(inSum) / float64(s.Nodes)
+			s.AvgOutDegreeAll = float64(outSum) / float64(s.Nodes)
+			if inActive > 0 {
+				s.AvgInDegreeActive = float64(inSum) / float64(inActive)
+			}
+			if outActive > 0 {
+				s.AvgOutDegreeActive = float64(outSum) / float64(outActive)
+			}
+			s.PowerLawAlpha, s.PowerLawXMin = PowerLawMLE(indegrees)
+		},
+		func() { s.AvgClusteringCoefficient = avgClusteringWorkers(g, maxClusteringNodes, workers) },
+	)
+
 	s.SCCCount = len(sccs)
 	for _, c := range sccs {
 		if len(c) > s.SCCMaxSize {
@@ -67,7 +118,6 @@ func Compute(g *pg.Graph) Stats {
 	}
 	s.SCCAvgSize = float64(s.Nodes) / float64(max(1, s.SCCCount))
 
-	wccs := WCC(g)
 	s.WCCCount = len(wccs)
 	for _, c := range wccs {
 		if len(c) > s.WCCMaxSize {
@@ -75,39 +125,31 @@ func Compute(g *pg.Graph) Stats {
 		}
 	}
 	s.WCCAvgSize = float64(s.Nodes) / float64(max(1, s.WCCCount))
-
-	var inSum, outSum, inActive, outActive int
-	var indegrees []int
-	for _, n := range g.Nodes() {
-		in, out := g.InDegree(n.ID), g.OutDegree(n.ID)
-		inSum += in
-		outSum += out
-		if in > 0 {
-			inActive++
-		}
-		if out > 0 {
-			outActive++
-		}
-		if in > s.MaxInDegree {
-			s.MaxInDegree = in
-		}
-		if out > s.MaxOutDegree {
-			s.MaxOutDegree = out
-		}
-		indegrees = append(indegrees, in)
-	}
-	s.AvgInDegreeAll = float64(inSum) / float64(s.Nodes)
-	s.AvgOutDegreeAll = float64(outSum) / float64(s.Nodes)
-	if inActive > 0 {
-		s.AvgInDegreeActive = float64(inSum) / float64(inActive)
-	}
-	if outActive > 0 {
-		s.AvgOutDegreeActive = float64(outSum) / float64(outActive)
-	}
-
-	s.AvgClusteringCoefficient = AvgClustering(g, maxClusteringNodes)
-	s.PowerLawAlpha, s.PowerLawXMin = PowerLawMLE(indegrees)
 	return s
+}
+
+// runTasks executes the tasks on up to workers goroutines and waits for all
+// of them; workers <= 1 runs them in order on the calling goroutine. Tasks
+// must write to disjoint state.
+func runTasks(workers int, tasks ...func()) {
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t func()) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t()
+		}(t)
+	}
+	wg.Wait()
 }
 
 // SCC returns the strongly connected components of the graph using an
@@ -238,6 +280,39 @@ func WCC(g *pg.Graph) [][]pg.OID {
 // nodes the coefficient is averaged over the first sampleCap nodes in OID
 // order (deterministic sampling).
 func AvgClustering(g *pg.Graph, sampleCap int) float64 {
+	return avgClusteringWorkers(g, sampleCap, 1)
+}
+
+const (
+	// clusterMinShard is the smallest node range worth a separate shard;
+	// clusterMaxShards bounds the number of partial sums.
+	clusterMinShard  = 256
+	clusterMaxShards = 64
+)
+
+// clusterShards partitions n sample positions into contiguous [lo,hi)
+// ranges. Like the reasoner's shard plan (internal/vadalog/parallel.go), it
+// is a function of n alone, so the association order of the floating-point
+// partial sums — and with it the exact result — is the same for every worker
+// count.
+func clusterShards(n int) [][2]int {
+	shards := n / clusterMinShard
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > clusterMaxShards {
+		shards = clusterMaxShards
+	}
+	out := make([][2]int, 0, shards)
+	for i := 0; i < shards; i++ {
+		if lo, hi := i*n/shards, (i+1)*n/shards; lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+func avgClusteringWorkers(g *pg.Graph, sampleCap, workers int) float64 {
 	nodes := g.Nodes()
 	if len(nodes) == 0 {
 		return 0
@@ -263,23 +338,55 @@ func AvgClustering(g *pg.Graph, sampleCap int) float64 {
 	if sampleCap > 0 && len(nodes) > sampleCap {
 		sample = nodes[:sampleCap]
 	}
-	var total float64
-	for _, n := range sample {
-		ns := neigh[n.ID]
-		k := len(ns)
-		if k < 2 {
-			continue
-		}
-		links := 0
-		for a := range ns {
-			na := neigh[a]
-			for b := range ns {
-				if a < b && na[b] {
-					links++
+	plan := clusterShards(len(sample))
+	partial := make([]float64, len(plan))
+	shard := func(s int) {
+		var sum float64
+		for _, n := range sample[plan[s][0]:plan[s][1]] {
+			ns := neigh[n.ID]
+			k := len(ns)
+			if k < 2 {
+				continue
+			}
+			links := 0
+			for a := range ns {
+				na := neigh[a]
+				for b := range ns {
+					if a < b && na[b] {
+						links++
+					}
 				}
 			}
+			sum += 2 * float64(links) / (float64(k) * float64(k-1))
 		}
-		total += 2 * float64(links) / (float64(k) * float64(k-1))
+		partial[s] = sum
+	}
+	if workers <= 1 || len(plan) == 1 {
+		for s := range plan {
+			shard(s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < min(workers, len(plan)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1) - 1)
+					if s >= len(plan) {
+						return
+					}
+					shard(s)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Reduce in shard order: identical association for every worker count.
+	var total float64
+	for _, p := range partial {
+		total += p
 	}
 	return total / float64(len(sample))
 }
@@ -356,11 +463,4 @@ func (s Stats) Table() string {
 	row("avg clustering coefficient", fmt.Sprintf("%.4f", s.AvgClusteringCoefficient))
 	row("power-law alpha (in-degree)", fmt.Sprintf("%.2f (xmin=%d)", s.PowerLawAlpha, s.PowerLawXMin))
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -229,3 +229,28 @@ func TestComputeEmptyGraph(t *testing.T) {
 		t.Errorf("empty graph stats = %+v", s)
 	}
 }
+
+// TestComputeWorkersIdentical: every Stats field — including the two
+// floating-point averages built from sharded partial sums — must be exactly
+// equal for any worker count, on random graphs large enough to split into
+// multiple clustering shards.
+func TestComputeWorkersIdentical(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := pg.New()
+		n := 600 + rng.Intn(400)
+		ids := make([]pg.OID, n)
+		for i := range ids {
+			ids[i] = g.AddNode([]string{"N"}, nil).ID
+		}
+		for i := 0; i < n*3; i++ {
+			g.MustAddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], "E", nil)
+		}
+		base := ComputeWorkers(g, 1)
+		for _, w := range []int{2, 8} {
+			if got := ComputeWorkers(g, w); got != base {
+				t.Fatalf("seed %d: workers=%d stats differ:\n%+v\nvs workers=1:\n%+v", seed, w, got, base)
+			}
+		}
+	}
+}

@@ -29,7 +29,8 @@ type ReasonResult struct {
 // Reason compiles and runs a MetaLog program over the graph, materializing
 // the derived nodes and edges back into it. The graph's own labels and
 // properties seed the catalog; the program may extend it with intensional
-// labels.
+// labels. The options — including Options.Workers, which selects the
+// parallel fixpoint engine — pass through to the Vadalog run unchanged.
 func Reason(prog *Program, g *pg.Graph, opts vadalog.Options) (*ReasonResult, error) {
 	cat := FromGraph(g)
 	return ReasonWithCatalog(prog, g, cat, opts)

@@ -40,6 +40,20 @@ type Analysis struct {
 	AffectedPositions []string
 }
 
+// headPreds returns the set of predicates any of the given rules can derive
+// into — the predicates that grow during the fixpoint of that rule group.
+// Both the batch engine (runStratum) and incremental propagation
+// (resumeStratum) use it to find the delta occurrences of each rule.
+func headPreds(p *Program, ruleIdxs []int) map[string]bool {
+	grow := make(map[string]bool, len(ruleIdxs))
+	for _, ri := range ruleIdxs {
+		for _, h := range p.Rules[ri].Head {
+			grow[h.Pred] = true
+		}
+	}
+	return grow
+}
+
 // Analyze checks safety and computes stratification and the structural
 // properties of the program. It fails on unsafe or unstratifiable programs;
 // wardedness violations are reported in the result rather than failing,

@@ -106,6 +106,19 @@ func (r *Relation) projectKey(f Fact, mask uint64) string {
 	return string(b)
 }
 
+// warmIndex builds (if absent) the index for the given mask. The engine
+// calls it for every mask a rule can consult before fanning that rule's
+// evaluation out to worker goroutines: index construction is the only lazy
+// mutation on the relation read path, so after warming, concurrent Lookup /
+// At / Len calls are race-free as long as no Insert runs alongside them —
+// which the parallel evaluator guarantees by buffering emissions until its
+// merge barrier.
+func (r *Relation) warmIndex(mask uint64) {
+	if mask != 0 {
+		r.ensureIndex(mask)
+	}
+}
+
 func (r *Relation) ensureIndex(mask uint64) map[string][]int {
 	if idx, ok := r.indexes[mask]; ok {
 		return idx

@@ -25,8 +25,20 @@ type Options struct {
 	Naive bool
 	// Provenance records, for every derived fact, the rule and body facts of
 	// its first derivation, enabling Result.Explain. Costs memory
-	// proportional to the derived facts.
+	// proportional to the derived facts. Provenance tracks the *first*
+	// derivation, which only insertion order makes well-defined, so a
+	// provenance run evaluates every rule sequentially even when Workers
+	// asks for parallelism.
 	Provenance bool
+	// Workers sets the number of goroutines used to evaluate each rule.
+	// Values <= 1 select the sequential engine. With Workers >= 2, the
+	// driver window of every shardable rule is partitioned into shards
+	// evaluated concurrently on a worker pool; emitted facts are buffered
+	// per shard and merged deterministically (see parallel.go), so the
+	// derived fact set is identical for every worker count. Programs with
+	// monotonic aggregates always evaluate sequentially: running emissions
+	// depend on contribution order, which no merge discipline preserves.
+	Workers int
 }
 
 const defaultMaxRounds = 1 << 20
@@ -79,7 +91,10 @@ func RunInPlace(prog *Program, db *Database, opts Options) (*Result, error) {
 	if err := e.prepare(); err != nil {
 		return nil, err
 	}
-	if err := e.run(); err != nil {
+	e.startPool()
+	err = e.run()
+	e.stopPool()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{
@@ -96,6 +111,9 @@ type engine struct {
 	an   *Analysis
 	db   *Database
 	opts Options
+	// pool is the worker pool for parallel rule evaluation; nil when the
+	// run is sequential (Workers <= 1, or Provenance is on).
+	pool *workerPool
 
 	rules   []*cRule
 	rounds  int
@@ -548,12 +566,7 @@ func (e *engine) run() error {
 
 func (e *engine) runStratum(ruleIdxs []int) error {
 	// Predicates that grow during this stratum's fixpoint.
-	grow := map[string]bool{}
-	for _, ri := range ruleIdxs {
-		for _, h := range e.prog.Rules[ri].Head {
-			grow[h.Pred] = true
-		}
-	}
+	grow := headPreds(e.prog, ruleIdxs)
 	var fixpointRules []*cRule
 	var stratAggRules []*cRule
 	for _, ri := range ruleIdxs {
@@ -583,7 +596,7 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 	startLens := e.lens()
 	total := 0
 	for _, cr := range fixpointRules {
-		n, err := e.evalRule(cr, fullWindows{})
+		n, err := e.eval(cr, fullWindows{})
 		if err != nil {
 			return err
 		}
@@ -607,7 +620,7 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 				continue
 			}
 			if e.opts.Naive {
-				n, err := e.evalRule(cr, fullWindows{})
+				n, err := e.eval(cr, fullWindows{})
 				if err != nil {
 					return err
 				}
@@ -616,7 +629,7 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 			}
 			for _, occ := range cr.growOccs {
 				w := deltaWindows{prev: prev, cur: cur, deltaStep: occ, growOccs: cr.growOccs}
-				n, err := e.evalRule(cr, w)
+				n, err := e.eval(cr, w)
 				if err != nil {
 					return err
 				}
@@ -682,110 +695,210 @@ func (w deltaWindows) rangeFor(si int, pred string) (int, int) {
 	}
 }
 
-// evalRule evaluates a rule under the given windows, returning the number of
-// new facts inserted.
-func (e *engine) evalRule(cr *cRule, w windows) (int, error) {
-	slots := make([]value.Value, len(cr.slots))
-	inserted := 0
-	var step func(si int) error
-	step = func(si int) error {
-		if si == len(cr.steps) {
-			n, err := e.emit(cr, slots)
-			inserted += n
-			return err
-		}
-		st := &cr.steps[si]
-		switch st.kind {
-		case stepJoin:
-			rel := e.db.Relation(st.pred)
-			lo, hi := w.rangeFor(si, st.pred)
-			if hi < 0 {
-				hi = rel.Len()
-			}
-			if lo >= hi {
-				return nil
-			}
-			keyVals := e.stepKey(st, slots)
-			positions := rel.Lookup(st.staticMask, keyVals)
-			// positions are ascending; restrict to [lo,hi).
-			from := sort.SearchInts(positions, lo)
-			for _, pos := range positions[from:] {
-				if pos >= hi {
-					break
-				}
-				f := rel.At(pos)
-				for _, i := range st.binderPos {
-					slots[st.argSlot[i]] = f[i]
-				}
-				// checkPos positions repeat a variable whose binder is
-				// earlier in this same atom, so check after binding.
-				ok := true
-				for _, i := range st.checkPos {
-					if !value.Equal(f[i], slots[st.argSlot[i]]) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					if e.prov != nil {
-						e.parentStack = append(e.parentStack, parentRef{pred: st.pred, pos: pos})
-					}
-					err := step(si + 1)
-					if e.prov != nil {
-						e.parentStack = e.parentStack[:len(e.parentStack)-1]
-					}
-					if err != nil {
-						return err
-					}
-				}
-				for _, i := range st.binderPos {
-					slots[st.argSlot[i]] = value.Value{}
-				}
-			}
-			return nil
-		case stepNeg:
-			rel := e.db.Relation(st.pred)
-			keyVals := e.stepKey(st, slots)
-			positions := rel.Lookup(st.staticMask, keyVals)
-			if len(positions) > 0 {
-				return nil // some matching fact exists: negation fails
-			}
-			return step(si + 1)
-		case stepCond:
-			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
-			if err != nil {
-				return err
-			}
-			if v.K != value.Bool {
-				return fmt.Errorf("vadalog: rule %d (line %d): condition %s is not boolean", cr.idx, cr.rule.Line, st.expr)
-			}
-			if !v.B {
-				return nil
-			}
-			return step(si + 1)
-		case stepAssign:
-			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
-			if err != nil {
-				return err
-			}
-			slots[st.assignSlot] = v
-			err = step(si + 1)
-			slots[st.assignSlot] = value.Value{}
-			return err
-		case stepAgg:
-			return e.stepMonotonicAgg(cr, st, slots, func() error { return step(si + 1) })
-		default:
-			return fmt.Errorf("vadalog: invalid step kind")
+// eval evaluates a rule under the given windows, fanning the driver window
+// out to the worker pool when the run is parallel and the rule is shardable.
+// The pool only exists at all for runs without provenance (whose "first
+// derivation" needs a global insertion order) and without monotonic
+// aggregates (whose running emissions are order-sensitive — see
+// hasMonotonicAgg); stratified-aggregate rules take their own sharded path
+// through evalStratifiedAgg.
+func (e *engine) eval(cr *cRule, w windows) (int, error) {
+	if e.pool != nil && cr.aggStep < 0 && e.prov == nil {
+		if driver := driverStep(cr, w); driver >= 0 {
+			return e.evalRuleSharded(cr, w, driver)
 		}
 	}
-	if err := step(0); err != nil {
+	return e.evalRule(cr, w)
+}
+
+// driverStep picks the join step whose window partitions the rule's work: the
+// delta occurrence in semi-naive rounds, the first join otherwise. -1 means
+// the rule enumerates nothing (fact rules) and is evaluated in place.
+func driverStep(cr *cRule, w windows) int {
+	if dw, ok := w.(deltaWindows); ok {
+		return dw.deltaStep
+	}
+	for si := range cr.steps {
+		if cr.steps[si].kind == stepJoin {
+			return si
+		}
+	}
+	return -1
+}
+
+// evalRule evaluates a rule sequentially under the given windows, returning
+// the number of new facts inserted.
+func (e *engine) evalRule(cr *cRule, w windows) (int, error) {
+	inserted := 0
+	c := &evalCtx{
+		e: e, cr: cr, w: w,
+		slots:     make([]value.Value, len(cr.slots)),
+		limit:     len(cr.steps),
+		shardStep: -1,
+	}
+	c.onMatch = func() error {
+		n, err := e.emit(cr, c.slots)
+		inserted += n
+		return err
+	}
+	if err := c.step(0); err != nil {
 		return 0, err
 	}
 	return inserted, nil
 }
 
+// evalCtx is one traversal of a rule body: a private slot array, the fact
+// windows, an optional shard restriction on the driver step, and the sink
+// invoked on every complete match. Sequential evaluation uses a single ctx
+// whose sink inserts directly; parallel evaluation runs one ctx per shard
+// with a buffering sink (parallel.go); stratified aggregation stops the
+// traversal at the aggregate step and accumulates groups.
+type evalCtx struct {
+	e     *engine
+	cr    *cRule
+	w     windows
+	slots []value.Value
+
+	// limit is the step index where the traversal stops and onMatch fires:
+	// len(cr.steps) for full rule evaluation, cr.aggStep for the collect
+	// phase of stratified aggregation.
+	limit int
+	// lenientCond treats non-boolean pre-aggregate conditions as false
+	// instead of erroring (the stratified-aggregate collect semantics).
+	lenientCond bool
+
+	// shardStep restricts the join enumeration at that step to the absolute
+	// fact positions [shardLo, shardHi); -1 leaves every step unrestricted.
+	shardStep        int
+	shardLo, shardHi int
+
+	// cancelled aborts the traversal cooperatively after another shard of
+	// the same evaluation has failed; nil for sequential runs.
+	cancelled *atomicBool
+
+	onMatch func() error
+}
+
+func (c *evalCtx) step(si int) error {
+	if si == c.limit {
+		return c.onMatch()
+	}
+	e, cr, slots := c.e, c.cr, c.slots
+	st := &cr.steps[si]
+	switch st.kind {
+	case stepJoin:
+		rel := e.db.Relation(st.pred)
+		lo, hi := c.w.rangeFor(si, st.pred)
+		if hi < 0 {
+			hi = rel.Len()
+		}
+		if si == c.shardStep {
+			lo = max(lo, c.shardLo)
+			hi = min(hi, c.shardHi)
+		}
+		if lo >= hi {
+			return nil
+		}
+		visit := func(pos int) error {
+			if c.cancelled != nil && c.cancelled.Load() {
+				return errEvalCancelled
+			}
+			f := rel.At(pos)
+			for _, i := range st.binderPos {
+				slots[st.argSlot[i]] = f[i]
+			}
+			// checkPos positions repeat a variable whose binder is
+			// earlier in this same atom, so check after binding.
+			ok := true
+			for _, i := range st.checkPos {
+				if !value.Equal(f[i], slots[st.argSlot[i]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if e.prov != nil {
+					e.parentStack = append(e.parentStack, parentRef{pred: st.pred, pos: pos})
+				}
+				err := c.step(si + 1)
+				if e.prov != nil {
+					e.parentStack = e.parentStack[:len(e.parentStack)-1]
+				}
+				if err != nil {
+					return err
+				}
+			}
+			for _, i := range st.binderPos {
+				slots[st.argSlot[i]] = value.Value{}
+			}
+			return nil
+		}
+		if st.staticMask == 0 {
+			// Unkeyed scan: iterate the window directly instead of
+			// materializing a full position list.
+			for pos := lo; pos < hi; pos++ {
+				if err := visit(pos); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		positions := rel.Lookup(st.staticMask, stepKey(st, slots))
+		// positions are ascending; restrict to [lo,hi).
+		from := sort.SearchInts(positions, lo)
+		for _, pos := range positions[from:] {
+			if pos >= hi {
+				break
+			}
+			if err := visit(pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	case stepNeg:
+		rel := e.db.Relation(st.pred)
+		keyVals := stepKey(st, slots)
+		positions := rel.Lookup(st.staticMask, keyVals)
+		if len(positions) > 0 {
+			return nil // some matching fact exists: negation fails
+		}
+		return c.step(si + 1)
+	case stepCond:
+		v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+		if err != nil {
+			return err
+		}
+		if c.lenientCond {
+			if !v.Truthy() {
+				return nil
+			}
+			return c.step(si + 1)
+		}
+		if v.K != value.Bool {
+			return fmt.Errorf("vadalog: rule %d (line %d): condition %s is not boolean", cr.idx, cr.rule.Line, st.expr)
+		}
+		if !v.B {
+			return nil
+		}
+		return c.step(si + 1)
+	case stepAssign:
+		v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
+		if err != nil {
+			return err
+		}
+		slots[st.assignSlot] = v
+		err = c.step(si + 1)
+		slots[st.assignSlot] = value.Value{}
+		return err
+	case stepAgg:
+		return e.stepMonotonicAgg(cr, st, slots, func() error { return c.step(si + 1) })
+	default:
+		return fmt.Errorf("vadalog: invalid step kind")
+	}
+}
+
 // stepKey extracts the lookup key values for the statically bound positions.
-func (e *engine) stepKey(st *cStep, slots []value.Value) []value.Value {
+func stepKey(st *cStep, slots []value.Value) []value.Value {
 	if st.staticMask == 0 {
 		return nil
 	}
@@ -849,111 +962,70 @@ func (e *engine) stepMonotonicAgg(cr *cRule, st *cStep, slots []value.Value, con
 // evalStratifiedAgg evaluates a rule containing a stratified aggregate: it
 // enumerates all body matches up to the aggregate, groups them, computes the
 // aggregate per group, then applies the remaining conditions and emits heads.
+// Parallel runs shard the collect phase across the worker pool and merge the
+// per-shard accumulators at the barrier (parallel.go).
 func (e *engine) evalStratifiedAgg(cr *cRule) (int, error) {
-	slots := make([]value.Value, len(cr.slots))
-	groups := map[string]*aggAccum{}
-	aggSt := &cr.steps[cr.aggStep]
-
-	var collect func(si int) error
-	collect = func(si int) error {
-		if si == cr.aggStep {
-			group := make([]value.Value, len(cr.groupSlots))
-			for i, s := range cr.groupSlots {
-				group[i] = slots[s]
-			}
-			gkey := encodeKey(group)
-			acc, ok := groups[gkey]
-			if !ok {
-				acc = newAggAccum()
-				acc.groupVals = group
-				groups[gkey] = acc
-			}
-			// Contributor-free aggregates absorb every distinct body match;
-			// listed contributors would make the aggregate monotonic, so they
-			// cannot reach this path.
-			var av, av2 value.Value
-			if aggSt.agg.Arg != nil {
-				v, err := aggSt.agg.Arg.Eval(slotEnv{slots: slots, names: cr.slots})
-				if err != nil {
-					return err
-				}
-				av = v
-			}
-			if aggSt.agg.Arg2 != nil {
-				v, err := aggSt.agg.Arg2.Eval(slotEnv{slots: slots, names: cr.slots})
-				if err != nil {
-					return err
-				}
-				av2 = v
-			}
-			return acc.update(aggSt.agg.Op, av, av2)
-		}
-		st := &cr.steps[si]
-		switch st.kind {
-		case stepJoin:
-			rel := e.db.Relation(st.pred)
-			keyVals := e.stepKey(st, slots)
-			positions := rel.Lookup(st.staticMask, keyVals)
-			hi := rel.Len()
-			for _, pos := range positions {
-				if pos >= hi {
-					break
-				}
-				f := rel.At(pos)
-				for _, i := range st.binderPos {
-					slots[st.argSlot[i]] = f[i]
-				}
-				ok := true
-				for _, i := range st.checkPos {
-					if !value.Equal(f[i], slots[st.argSlot[i]]) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					if err := collect(si + 1); err != nil {
-						return err
-					}
-				}
-				for _, i := range st.binderPos {
-					slots[st.argSlot[i]] = value.Value{}
-				}
-			}
-			return nil
-		case stepNeg:
-			rel := e.db.Relation(st.pred)
-			keyVals := e.stepKey(st, slots)
-			if len(rel.Lookup(st.staticMask, keyVals)) > 0 {
-				return nil
-			}
-			return collect(si + 1)
-		case stepCond:
-			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
-			if err != nil {
-				return err
-			}
-			if !v.Truthy() {
-				return nil
-			}
-			return collect(si + 1)
-		case stepAssign:
-			v, err := st.expr.Eval(slotEnv{slots: slots, names: cr.slots})
-			if err != nil {
-				return err
-			}
-			slots[st.assignSlot] = v
-			err = collect(si + 1)
-			slots[st.assignSlot] = value.Value{}
-			return err
-		default:
-			return fmt.Errorf("vadalog: unexpected step before stratified aggregate")
+	if e.pool != nil && e.prov == nil {
+		if driver := driverStep(cr, fullWindows{}); driver >= 0 && driver < cr.aggStep &&
+			e.db.Relation(cr.steps[driver].pred).Len() >= 2*minShardSize {
+			return e.evalStratifiedAggSharded(cr, driver)
 		}
 	}
-	if err := collect(0); err != nil {
+	groups := map[string]*aggAccum{}
+	c := &evalCtx{
+		e: e, cr: cr, w: fullWindows{},
+		slots:       make([]value.Value, len(cr.slots)),
+		limit:       cr.aggStep,
+		lenientCond: true,
+		shardStep:   -1,
+	}
+	c.onMatch = func() error { return accumulateGroup(cr, c.slots, groups) }
+	if err := c.step(0); err != nil {
 		return 0, err
 	}
+	return e.emitAggGroups(cr, groups)
+}
 
-	// Emit one result per group, running the post-aggregate steps.
+// accumulateGroup folds one complete pre-aggregate body match into the group
+// accumulator keyed by the grouping variables. Contributor-free aggregates
+// absorb every distinct body match; listed contributors would make the
+// aggregate monotonic, so they cannot reach this path.
+func accumulateGroup(cr *cRule, slots []value.Value, groups map[string]*aggAccum) error {
+	aggSt := &cr.steps[cr.aggStep]
+	group := make([]value.Value, len(cr.groupSlots))
+	for i, s := range cr.groupSlots {
+		group[i] = slots[s]
+	}
+	gkey := encodeKey(group)
+	acc, ok := groups[gkey]
+	if !ok {
+		acc = newAggAccum()
+		acc.groupVals = group
+		groups[gkey] = acc
+	}
+	var av, av2 value.Value
+	if aggSt.agg.Arg != nil {
+		v, err := aggSt.agg.Arg.Eval(slotEnv{slots: slots, names: cr.slots})
+		if err != nil {
+			return err
+		}
+		av = v
+	}
+	if aggSt.agg.Arg2 != nil {
+		v, err := aggSt.agg.Arg2.Eval(slotEnv{slots: slots, names: cr.slots})
+		if err != nil {
+			return err
+		}
+		av2 = v
+	}
+	return acc.update(aggSt.agg.Op, av, av2)
+}
+
+// emitAggGroups runs the post-aggregate steps for every collected group, in
+// sorted group-key order, and emits the rule heads.
+func (e *engine) emitAggGroups(cr *cRule, groups map[string]*aggAccum) (int, error) {
+	slots := make([]value.Value, len(cr.slots))
+	aggSt := &cr.steps[cr.aggStep]
 	gkeys := make([]string, 0, len(groups))
 	for k := range groups {
 		gkeys = append(gkeys, k)
@@ -1009,9 +1081,42 @@ func (e *engine) evalStratifiedAgg(cr *cRule) (int, error) {
 }
 
 // emit instantiates the rule heads under the current slots and inserts the
-// resulting facts. Existential variables are realized with frontier-keyed
-// Skolem identifiers shared across the head conjunction.
+// resulting facts directly (the sequential sink).
 func (e *engine) emit(cr *cRule, slots []value.Value) (int, error) {
+	inserted := 0
+	err := headFacts(cr, slots, func(pred string, f Fact) error {
+		rel := e.db.Relation(pred)
+		added, err := rel.Insert(f)
+		if err != nil {
+			return err
+		}
+		if added {
+			if e.prov != nil {
+				d := derivation{ruleIdx: cr.idx, line: cr.rule.Line, viaAggregate: e.inStratAgg}
+				if !e.inStratAgg {
+					d.parents = append([]parentRef(nil), e.parentStack...)
+				}
+				e.prov[provKey(pred, f)] = d
+			}
+			inserted++
+			e.derived++
+			if e.opts.MaxFacts > 0 && e.derived > e.opts.MaxFacts {
+				return errMaxFacts(e.opts.MaxFacts)
+			}
+		}
+		return nil
+	})
+	return inserted, err
+}
+
+func errMaxFacts(limit int) error {
+	return fmt.Errorf("vadalog: derived fact limit %d exceeded", limit)
+}
+
+// headFacts instantiates every head atom of the rule under the slots and
+// hands the resulting facts to the sink. Existential variables are realized
+// with frontier-keyed Skolem identifiers shared across the head conjunction.
+func headFacts(cr *cRule, slots []value.Value, sink func(pred string, f Fact) error) error {
 	var exVals map[string]value.Value
 	if len(cr.existNames) > 0 {
 		frontier := make([]value.Value, len(cr.frontierSlots))
@@ -1050,36 +1155,19 @@ func (e *engine) emit(cr *cRule, slots []value.Value) (int, error) {
 			return value.Value{}, fmt.Errorf("vadalog: invalid head argument")
 		}
 	}
-	inserted := 0
 	for hi := range cr.heads {
 		h := &cr.heads[hi]
 		f := make(Fact, len(h.args))
 		for i := range h.args {
 			v, err := resolve(&h.args[i])
 			if err != nil {
-				return inserted, err
+				return err
 			}
 			f[i] = v
 		}
-		rel := e.db.Relation(h.pred)
-		added, err := rel.Insert(f)
-		if err != nil {
-			return inserted, err
-		}
-		if added {
-			if e.prov != nil {
-				d := derivation{ruleIdx: cr.idx, line: cr.rule.Line, viaAggregate: e.inStratAgg}
-				if !e.inStratAgg {
-					d.parents = append([]parentRef(nil), e.parentStack...)
-				}
-				e.prov[provKey(h.pred, f)] = d
-			}
-			inserted++
-			e.derived++
-			if e.opts.MaxFacts > 0 && e.derived > e.opts.MaxFacts {
-				return inserted, fmt.Errorf("vadalog: derived fact limit %d exceeded", e.opts.MaxFacts)
-			}
+		if err := sink(h.pred, f); err != nil {
+			return err
 		}
 	}
-	return inserted, nil
+	return nil
 }

@@ -52,7 +52,10 @@ func NewIncremental(prog *Program, db *Database, opts Options) (*Incremental, er
 	if err := e.prepare(); err != nil {
 		return nil, err
 	}
-	if err := e.run(); err != nil {
+	e.startPool()
+	err = e.run()
+	e.stopPool()
+	if err != nil {
 		return nil, err
 	}
 	return &Incremental{eng: e, lastLens: e.lens()}, nil
@@ -79,6 +82,8 @@ func (inc *Incremental) Add(pred string, vals ...value.Value) error {
 // values exactly as a full recomputation would reach them.
 func (inc *Incremental) Propagate() (int, error) {
 	before := inc.eng.derived
+	inc.eng.startPool()
+	defer inc.eng.stopPool()
 	for _, stratum := range inc.eng.an.Strata {
 		if err := inc.eng.resumeStratum(stratum, inc.lastLens); err != nil {
 			return inc.eng.derived - before, err
@@ -92,12 +97,7 @@ func (inc *Incremental) Propagate() (int, error) {
 // grew since base as the initial delta (new EDB facts and lower-stratum
 // derivations alike).
 func (e *engine) resumeStratum(ruleIdxs []int, base map[string]int) error {
-	grow := map[string]bool{}
-	for _, ri := range ruleIdxs {
-		for _, h := range e.prog.Rules[ri].Head {
-			grow[h.Pred] = true
-		}
-	}
+	grow := headPreds(e.prog, ruleIdxs)
 	// Changed predicates: anything that grew since the last propagation,
 	// plus the stratum's own heads (which may grow during this fixpoint).
 	deltaPred := map[string]bool{}
@@ -136,7 +136,7 @@ func (e *engine) resumeStratum(ruleIdxs []int, base map[string]int) error {
 			}
 			for _, occ := range cr.growOccs {
 				w := deltaWindows{prev: prev, cur: cur, deltaStep: occ, growOccs: cr.growOccs}
-				n, err := e.evalRule(cr, w)
+				n, err := e.eval(cr, w)
 				if err != nil {
 					return err
 				}

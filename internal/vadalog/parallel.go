@@ -1,0 +1,383 @@
+package vadalog
+
+// Parallel semi-naive evaluation.
+//
+// With Options.Workers >= 2 the engine evaluates each rule by partitioning
+// the driver window — the delta window of the designated occurrence in
+// semi-naive rounds, the first join's window otherwise — into contiguous
+// position shards that a fixed pool of worker goroutines drains. While the
+// shards run, the database is strictly read-only: every hash index a rule
+// can touch is built up front (prewarmIndexes), and emitted facts go to
+// per-shard buffers instead of the relations. At the barrier the buffers are
+// deduplicated and inserted in shard index order.
+//
+// Determinism. The shard plan depends only on the window size, never on the
+// worker count, and the merge consumes shards in index order, so the
+// database contents after every rule evaluation — and therefore the whole
+// fixpoint trajectory — are identical for every Workers >= 2. Relative to
+// the sequential engine the derived fact *set* is also identical: deferring
+// inserts to the barrier only delays self-derived matches to the next
+// semi-naive round, which the fixpoint loop absorbs. Two constructs are
+// order-sensitive and therefore always evaluated sequentially, even in a
+// parallel run: monotonic aggregates (their running emissions depend on the
+// contribution order) and provenance recording (the "first" derivation
+// needs a global insertion order).
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// atomicBool is the cooperative cancellation flag shared by the shards of
+// one rule evaluation (aliased so engine.go needs no sync/atomic import).
+type atomicBool = atomic.Bool
+
+// errEvalCancelled aborts a shard after another shard of the same
+// evaluation failed; it is swallowed by runShards, never returned to callers.
+var errEvalCancelled = errors.New("vadalog: evaluation cancelled")
+
+// workerPool is a fixed set of goroutines executing submitted closures. One
+// pool lives for the duration of a reasoning run (or one incremental
+// propagation) and is reused across every rule evaluation in it.
+type workerPool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// runShards executes fn(0) … fn(shards-1) on the pool and waits for all of
+// them. Shards are claimed from an atomic counter, so any number of shards
+// works with any pool size. On failure the lowest-indexed error among the
+// shards that ran is returned, the cancel flag is raised so in-flight
+// shards abort cooperatively, and unclaimed shards are skipped.
+func (p *workerPool) runShards(shards int, cancel *atomicBool, fn func(shard int) error) error {
+	if shards <= 0 {
+		return nil
+	}
+	errs := make([]error, shards)
+	var next atomic.Int64
+	var done sync.WaitGroup
+	body := func() {
+		defer done.Done()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= shards || cancel.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				if !errors.Is(err, errEvalCancelled) {
+					errs[i] = err
+				}
+				cancel.Store(true)
+				return
+			}
+		}
+	}
+	n := min(p.workers, shards)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		p.tasks <- body
+	}
+	done.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startPool creates the worker pool when the run asks for parallelism.
+// Provenance runs stay sequential (Options.Provenance documents why).
+func (e *engine) startPool() {
+	if e.opts.Workers > 1 && e.prov == nil && !e.hasMonotonicAgg() {
+		e.pool = newWorkerPool(e.opts.Workers)
+	}
+}
+
+// hasMonotonicAgg reports whether any compiled rule carries a monotonic
+// aggregate. Such programs evaluate sequentially regardless of
+// Options.Workers: a running aggregate's emissions depend on the order its
+// contributions arrive, and that order is shaped by the insertion order of
+// every upstream relation — which deferred shard-order merging cannot
+// reproduce. A per-rule fallback would not be enough; only the fully
+// sequential engine preserves the emission set.
+func (e *engine) hasMonotonicAgg() bool {
+	for _, cr := range e.rules {
+		for _, st := range cr.steps {
+			if st.kind == stepAgg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *engine) stopPool() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// minShardSize is the smallest driver window worth splitting: below it, the
+// fan-out barrier costs more than the join work it distributes. maxShards
+// bounds the plan so the merge stays cheap on huge windows. Variables rather
+// than constants so tests can shrink them to force the parallel path on
+// small inputs; production code never mutates them.
+var (
+	minShardSize = 512
+	maxShards    = 16
+)
+
+// shardPlan partitions n driver positions into contiguous [lo,hi) ranges.
+// The plan is a function of n alone — never of the worker count — so the
+// shard boundaries, and with them every merge order, are reproducible for
+// any Workers setting.
+func shardPlan(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	shards := n / minShardSize
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	out := make([][2]int, 0, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := i*n/shards, (i+1)*n/shards
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// prewarmIndexes builds every hash index the rule's steps can consult, so
+// that concurrent shard evaluation never mutates relation state (lazy index
+// construction is the only write on the read path).
+func (e *engine) prewarmIndexes(cr *cRule) {
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		if st.kind == stepJoin || st.kind == stepNeg {
+			e.db.Relation(st.pred).warmIndex(st.staticMask)
+		}
+	}
+}
+
+// pendingFact is a head fact emitted by a shard, buffered until the merge
+// barrier.
+type pendingFact struct {
+	pred string
+	f    Fact
+}
+
+// evalRuleSharded evaluates a rule by sharding the driver step's window
+// across the worker pool and merging the per-shard emissions at the barrier.
+func (e *engine) evalRuleSharded(cr *cRule, w windows, driver int) (int, error) {
+	st := &cr.steps[driver]
+	rel := e.db.Relation(st.pred)
+	lo, hi := w.rangeFor(driver, st.pred)
+	if hi < 0 {
+		hi = rel.Len()
+	}
+	if lo >= hi {
+		return 0, nil
+	}
+	// Small driver windows are not worth the fan-out, buffering and merge:
+	// evaluate them sequentially. The threshold compares against the window
+	// size alone, so the chosen path — like the shard plan itself — never
+	// depends on the worker count.
+	if hi-lo < 2*minShardSize {
+		return e.evalRule(cr, w)
+	}
+	plan := shardPlan(hi - lo)
+	e.prewarmIndexes(cr)
+	buffers := make([][]pendingFact, len(plan))
+	var cancel atomicBool
+	// MaxFacts valve: without it, a rule that overshoots the fact limit
+	// would buffer its entire (possibly enormous) match set before the merge
+	// barrier gets a chance to error. Buffered counts include duplicates the
+	// sequential engine would never count, so overshooting the budget is not
+	// by itself an error — it aborts the fan-out and falls back to exact
+	// sequential evaluation below.
+	budget := int64(-1)
+	if e.opts.MaxFacts > 0 {
+		budget = int64(e.opts.MaxFacts-e.derived) + 1
+	}
+	var pending atomic.Int64
+	var overBudget atomicBool
+	err := e.pool.runShards(len(plan), &cancel, func(s int) error {
+		var buf []pendingFact
+		c := &evalCtx{
+			e: e, cr: cr, w: w,
+			slots:     make([]value.Value, len(cr.slots)),
+			limit:     len(cr.steps),
+			shardStep: driver,
+			shardLo:   lo + plan[s][0],
+			shardHi:   lo + plan[s][1],
+			cancelled: &cancel,
+		}
+		c.onMatch = func() error {
+			return headFacts(cr, c.slots, func(pred string, f Fact) error {
+				if budget >= 0 && pending.Add(1) > budget {
+					overBudget.Store(true)
+					return errEvalCancelled
+				}
+				buf = append(buf, pendingFact{pred: pred, f: f})
+				return nil
+			})
+		}
+		if err := c.step(0); err != nil {
+			return err
+		}
+		buffers[s] = buf
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if overBudget.Load() {
+		// Pending emissions exceed the remaining budget. Inserts are
+		// deduplicated, so discarding the buffers and re-deriving
+		// sequentially is safe, and it counts new facts exactly: the re-run
+		// either completes under the limit or reports the limit error with
+		// the sequential engine's precise accounting.
+		return e.evalRule(cr, w)
+	}
+	return e.mergePending(buffers)
+}
+
+// mergePending inserts the shard buffers in shard index order. The shard
+// plan is a function of the window size alone and each buffer preserves its
+// shard's visit order, so the insertion order — and with it the relation
+// contents after every rule evaluation — is identical for every worker
+// count, without any sorting at the barrier. Insert deduplicates against
+// both earlier buffers and the existing relations.
+func (e *engine) mergePending(buffers [][]pendingFact) (int, error) {
+	inserted := 0
+	for _, buf := range buffers {
+		for _, p := range buf {
+			added, err := e.db.Relation(p.pred).Insert(p.f)
+			if err != nil {
+				return inserted, err
+			}
+			if added {
+				inserted++
+				e.derived++
+				if e.opts.MaxFacts > 0 && e.derived > e.opts.MaxFacts {
+					return inserted, errMaxFacts(e.opts.MaxFacts)
+				}
+			}
+		}
+	}
+	return inserted, nil
+}
+
+// evalStratifiedAggSharded runs the collect phase of a stratified aggregate
+// over sharded windows with per-shard accumulator maps, merges them in shard
+// order, and emits the groups exactly like the sequential path. Integer
+// aggregates merge exactly; float sums and products re-associate, but the
+// worker-count-independent shard plan keeps results reproducible for every
+// Workers >= 2.
+func (e *engine) evalStratifiedAggSharded(cr *cRule, driver int) (int, error) {
+	st := &cr.steps[driver]
+	rel := e.db.Relation(st.pred)
+	plan := shardPlan(rel.Len())
+	if plan == nil {
+		return e.emitAggGroups(cr, map[string]*aggAccum{})
+	}
+	e.prewarmIndexes(cr)
+	shardGroups := make([]map[string]*aggAccum, len(plan))
+	var cancel atomicBool
+	err := e.pool.runShards(len(plan), &cancel, func(s int) error {
+		groups := map[string]*aggAccum{}
+		c := &evalCtx{
+			e: e, cr: cr, w: fullWindows{},
+			slots:       make([]value.Value, len(cr.slots)),
+			limit:       cr.aggStep,
+			lenientCond: true,
+			shardStep:   driver,
+			shardLo:     plan[s][0],
+			shardHi:     plan[s][1],
+			cancelled:   &cancel,
+		}
+		c.onMatch = func() error { return accumulateGroup(cr, c.slots, groups) }
+		if err := c.step(0); err != nil {
+			return err
+		}
+		shardGroups[s] = groups
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	op := cr.steps[cr.aggStep].agg.Op
+	merged := map[string]*aggAccum{}
+	for _, sg := range shardGroups {
+		for gkey, acc := range sg {
+			if dst, ok := merged[gkey]; ok {
+				dst.merge(acc, op)
+			} else {
+				merged[gkey] = acc
+			}
+		}
+	}
+	return e.emitAggGroups(cr, merged)
+}
+
+// merge folds the accumulator b into a. Every operator merges associatively
+// over disjoint match partitions; min/max guard the "no updates yet" state
+// through the update count.
+func (a *aggAccum) merge(b *aggAccum, op string) {
+	switch op {
+	case "count":
+		a.count += b.count
+	case "sum", "avg":
+		a.sum += b.sum
+		a.count += b.count
+	case "prod":
+		a.prod *= b.prod
+		a.count += b.count
+	case "min":
+		if b.count > 0 && (a.count == 0 || value.Compare(b.min, a.min) < 0) {
+			a.min = b.min
+		}
+		a.count += b.count
+	case "max":
+		if b.count > 0 && (a.count == 0 || value.Compare(b.max, a.max) > 0) {
+			a.max = b.max
+		}
+		a.count += b.count
+	case "pack":
+		a.packItems = append(a.packItems, b.packItems...)
+		a.count += b.count
+	}
+	if !b.allInts {
+		a.allInts = false
+	}
+}
