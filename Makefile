@@ -1,20 +1,27 @@
 GO ?= go
 
-.PHONY: build test test-race bench
+.PHONY: build vet test test-race bench
 
 build:
 	$(GO) build ./...
 
-test: build
+vet:
+	$(GO) vet ./...
+
+test: build vet
 	$(GO) test ./...
 
 # test-race is part of tier-1 verification: the full suite under the race
 # detector, plus one short iteration of the parallel-evaluation benchmarks
 # (E1 graph statistics and E11 path-pattern reasoning) so the sharded
 # fixpoint and the concurrent statistics tasks run under -race at benchmark
-# scale too.
+# scale too. The cancellation / trace-determinism tests rerun with -count=3:
+# they interrupt the worker pool mid-fan-out and compare run traces across
+# worker counts, the shapes most likely to surface a scheduling-dependent
+# race.
 test-race: build
 	$(GO) test -race ./...
+	$(GO) test -race -count=3 -run 'TestCancel|TestTimeout|TestCallerDeadline|TestGoldenTrace|TestTraceSequentialFallbacks' ./internal/vadalog/
 	$(GO) test -race -run '^$$' -bench 'BenchmarkE11DescFrom|BenchmarkE1GraphStats' -benchtime 1x .
 
 bench:

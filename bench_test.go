@@ -7,6 +7,7 @@
 //	BenchmarkE10Control*           Examples 4.1/4.2 control sweep
 //	BenchmarkE11DescFrom           Example 4.3/4.4 path-pattern reasoning
 //	BenchmarkE14Phases             §6 load/reason/flush breakdown
+//	BenchmarkE17TraceOverhead      run-trace instrumentation cost on E11
 //	BenchmarkAblation*             DESIGN.md ablations A1–A4
 //
 // Use cmd/kgbench for the human-readable tables.
@@ -23,6 +24,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/metalog"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/pg"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
@@ -242,6 +244,32 @@ func BenchmarkE11DescFrom(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE17TraceOverhead measures the cost of run-trace instrumentation
+// (per-rule counters plus per-eval timing) on the widest E11 shape, with
+// and without a trace attached. The target recorded in EXPERIMENTS.md is
+// under 5% overhead for the traced variant.
+func BenchmarkE17TraceOverhead(b *testing.B) {
+	prog := metalog.MustParse(`(x: SM_Node) ([: SM_CHILD]- . [: SM_PARENT])+ (y: SM_Node) -> (x) [w: DESCFROM] (y).`)
+	dict := descFromSchema(b, 6, 4)
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("traced=%v", traced), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work := dict.Clone()
+				opts := vadalog.Options{Workers: runtime.NumCPU()}
+				if traced {
+					opts.Trace = obs.NewTrace()
+				}
+				b.StartTimer()
+				if _, err := metalog.Reason(prog, work, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

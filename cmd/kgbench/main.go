@@ -35,17 +35,54 @@ import (
 	"repro/internal/instance"
 	"repro/internal/metalog"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
 	"repro/internal/value"
 )
+
+// engTimeout and engTrace hold the -timeout / -trace settings; engineOpts
+// threads them into every reasoning run an experiment performs.
+var (
+	engTimeout time.Duration
+	engTrace   *obs.Trace
+)
+
+// engineOpts builds the vadalog options for one reasoning run under the
+// global observability/cancellation flags.
+func engineOpts(workers int) vadalog.Options {
+	return vadalog.Options{Workers: workers, Timeout: engTimeout, Trace: engTrace}
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "stats, control, phases, figures, ablation, closelinks, groups, scaling, or all")
 	scales := flag.String("scales", "1000,5000,20000", "comma-separated company counts")
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for reasoning and statistics (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per reasoning run (0 = none)")
+	traceFile := flag.String("trace", "", "write the JSON run trace of every reasoning run to this file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
+	engTimeout = *timeout
+	if *traceFile != "" {
+		engTrace = obs.NewTrace()
+		defer func() {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kgbench:", err)
+				return
+			}
+			defer f.Close()
+			if err := engTrace.WriteJSONTimings(f); err != nil {
+				fmt.Fprintln(os.Stderr, "kgbench:", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		if err := obs.ServeDebug(*pprofAddr); err != nil {
+			fatal(err)
+		}
+	}
 
 	var ns []int
 	for _, s := range strings.Split(*scales, ",") {
@@ -112,7 +149,7 @@ func runControl(scales []int, seed int64, workers int) {
 		if err != nil {
 			fatal(err)
 		}
-		mlRes, err := metalog.Reason(prog, g, vadalog.Options{Workers: workers})
+		mlRes, err := metalog.Reason(prog, g, engineOpts(workers))
 		if err != nil {
 			fatal(err)
 		}
@@ -131,7 +168,7 @@ func runControl(scales []int, seed int64, workers int) {
 		}
 		vStart := time.Now()
 		vprog := vadalog.MustParse(finance.ControlVadalog())
-		if _, err := vadalog.RunInPlace(vprog, db, vadalog.Options{Workers: workers}); err != nil {
+		if _, err := vadalog.RunInPlace(vprog, db, engineOpts(workers)); err != nil {
 			fatal(err)
 		}
 		vDur := time.Since(vStart)
@@ -175,7 +212,7 @@ func runPhases(scales []int, seed int64, workers int) {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := instance.Materialize(d, instance.PGSource{Data: data}, sigma, 1, vadalog.Options{Workers: workers})
+		res, err := instance.Materialize(d, instance.PGSource{Data: data}, sigma, 1, engineOpts(workers))
 		if err != nil {
 			fatal(err)
 		}
@@ -204,7 +241,7 @@ func runFigures() {
 			fatal(err)
 		}
 		start := time.Now()
-		res, err := models.Translate(dict, m, vadalog.Options{})
+		res, err := models.Translate(dict, m, engineOpts(0))
 		if err != nil {
 			fatal(err)
 		}
@@ -253,12 +290,14 @@ func runAblation(scales []int, seed int64, workers int) {
 		}
 		prog := vadalog.MustParse(finance.ControlVadalog())
 		t0 := time.Now()
-		if _, err := vadalog.Run(prog, db, vadalog.Options{}); err != nil {
+		if _, err := vadalog.Run(prog, db, engineOpts(0)); err != nil {
 			fatal(err)
 		}
 		semi := time.Since(t0)
 		t1 := time.Now()
-		if _, err := vadalog.Run(prog, db, vadalog.Options{Naive: true}); err != nil {
+		naiveOpts := engineOpts(0)
+		naiveOpts.Naive = true
+		if _, err := vadalog.Run(prog, db, naiveOpts); err != nil {
 			fatal(err)
 		}
 		naive := time.Since(t1)
@@ -282,7 +321,7 @@ func runAblation(scales []int, seed int64, workers int) {
 			fatal(err)
 		}
 		t0 := time.Now()
-		if _, err := models.Translate(dict, m, vadalog.Options{Workers: workers}); err != nil {
+		if _, err := models.Translate(dict, m, engineOpts(workers)); err != nil {
 			fatal(err)
 		}
 		mlDur := time.Since(t0)
@@ -358,13 +397,13 @@ func runScaling(scales []int, seed int64, workers int) {
 			}
 		}
 		t0 := time.Now()
-		seq, err := vadalog.Run(prog, db, vadalog.Options{Workers: 1})
+		seq, err := vadalog.Run(prog, db, engineOpts(1))
 		if err != nil {
 			fatal(err)
 		}
 		seqDur := time.Since(t0)
 		t1 := time.Now()
-		par, err := vadalog.Run(prog, db, vadalog.Options{Workers: workers})
+		par, err := vadalog.Run(prog, db, engineOpts(workers))
 		if err != nil {
 			fatal(err)
 		}

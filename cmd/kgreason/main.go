@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/finance"
+	"repro/internal/obs"
 	"repro/internal/pg"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
@@ -38,11 +39,19 @@ func main() {
 	components := flag.String("component", "ownership,control", "comma-separated built-in components to run, in order")
 	sigma := flag.String("sigma", "", "additional MetaLog program file to run last")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for the reasoning fixpoint (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per reasoning run (0 = none)")
+	traceFile := flag.String("trace", "", "write the JSON run trace (one section per component run) to this file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "kgreason: need -in <kg.json>")
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		if err := obs.ServeDebug(*pprofAddr); err != nil {
+			fatal(err)
+		}
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -81,7 +90,20 @@ func main() {
 		}
 	}
 
-	res, err := kg.Materialize(core.PGData(data), 1, vadalog.Options{Workers: *workers})
+	opts := vadalog.Options{Workers: *workers, Timeout: *timeout}
+	var trace *obs.Trace
+	if *traceFile != "" {
+		trace = obs.NewTrace()
+		opts.Trace = trace
+	}
+	res, err := kg.Materialize(core.PGData(data), 1, opts)
+	if trace != nil {
+		// Written before the error check so interrupted materializations
+		// still leave their partial trace behind.
+		if werr := writeTrace(trace, *traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "kgreason:", werr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -104,6 +126,15 @@ func main() {
 	if err := data.WriteJSON(w); err != nil {
 		fatal(err)
 	}
+}
+
+func writeTrace(trace *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteJSONTimings(f)
 }
 
 func fatal(err error) {

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/vadalog"
 )
 
@@ -27,7 +29,16 @@ func main() {
 	maxFacts := flag.Int("max-facts", 0, "derived-fact safety valve (0 = unlimited)")
 	explain := flag.Bool("explain", false, "record provenance and print a proof tree for each @output fact (best with small results)")
 	explainDepth := flag.Int("explain-depth", 0, "proof tree depth cap (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run (0 = none); an exceeded bound exits with the partial stats reported")
+	traceFile := flag.String("trace", "", "write the JSON run trace (per-rule counters, round deltas) to this file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := obs.ServeDebug(*pprofAddr); err != nil {
+			fatal(err)
+		}
+	}
 
 	var src []byte
 	var err error
@@ -53,9 +64,24 @@ func main() {
 			len(prog.Rules), len(an.Strata), an.Warded, an.PiecewiseLinear)
 	}
 
-	res, outputs, err := vadalog.RunWithBindings(prog, vadalog.Bindings{BaseDir: *data},
-		vadalog.Options{MaxFacts: *maxFacts, Provenance: *explain})
+	opts := vadalog.Options{MaxFacts: *maxFacts, Provenance: *explain, Timeout: *timeout}
+	var trace *obs.Trace
+	if *traceFile != "" {
+		trace = obs.NewTrace()
+		opts.Trace = trace
+	}
+	res, outputs, err := vadalog.RunWithBindings(prog, vadalog.Bindings{BaseDir: *data}, opts)
+	if trace != nil {
+		// The trace captures whatever ran, including interrupted runs.
+		if werr := writeTrace(trace, *traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "vadalog:", werr)
+		}
+	}
 	if err != nil {
+		if errors.Is(err, vadalog.ErrTimeout) || errors.Is(err, vadalog.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "vadalog: %v (partial run recorded)\n", err)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "vadalog: derived %d facts in %v (%d fixpoint rounds)\n",
@@ -83,6 +109,15 @@ func main() {
 			fmt.Printf("%s%s\n", pred, f)
 		}
 	}
+}
+
+func writeTrace(trace *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteJSONTimings(f)
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package metalog
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/pg"
@@ -32,14 +33,27 @@ type ReasonResult struct {
 // labels. The options — including Options.Workers, which selects the
 // parallel fixpoint engine — pass through to the Vadalog run unchanged.
 func Reason(prog *Program, g *pg.Graph, opts vadalog.Options) (*ReasonResult, error) {
+	return ReasonCtx(context.Background(), prog, g, opts)
+}
+
+// ReasonCtx is Reason under a context: the embedded Vadalog run honors ctx
+// and vadalog.Options.Timeout (typed vadalog.ErrCanceled / ErrTimeout), and
+// the loading and flushing phases check ctx at their boundaries, so a
+// MetaLog-level run inherits the engine's operational controls end to end.
+func ReasonCtx(ctx context.Context, prog *Program, g *pg.Graph, opts vadalog.Options) (*ReasonResult, error) {
 	cat := FromGraph(g)
-	return ReasonWithCatalog(prog, g, cat, opts)
+	return ReasonWithCatalogCtx(ctx, prog, g, cat, opts)
 }
 
 // ReasonWithCatalog is Reason with a caller-provided catalog, used when the
 // property layout comes from a designed schema rather than from instance
 // inference.
 func ReasonWithCatalog(prog *Program, g *pg.Graph, cat *Catalog, opts vadalog.Options) (*ReasonResult, error) {
+	return ReasonWithCatalogCtx(context.Background(), prog, g, cat, opts)
+}
+
+// ReasonWithCatalogCtx is ReasonWithCatalog under a context (see ReasonCtx).
+func ReasonWithCatalogCtx(ctx context.Context, prog *Program, g *pg.Graph, cat *Catalog, opts vadalog.Options) (*ReasonResult, error) {
 	tr, err := Translate(prog, cat)
 	if err != nil {
 		return nil, err
@@ -51,13 +65,19 @@ func ReasonWithCatalog(prog *Program, g *pg.Graph, cat *Catalog, opts vadalog.Op
 		return nil, err
 	}
 	loadDur := time.Since(loadStart)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	reasonStart := time.Now()
-	res, err := vadalog.RunInPlace(tr.Program, db, opts)
+	res, err := vadalog.RunInPlaceCtx(ctx, tr.Program, db, opts)
 	if err != nil {
 		return nil, err
 	}
 	reasonDur := time.Since(reasonStart)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	flushStart := time.Now()
 	mst, err := Materialize(res.DB, tr, cat, g)
@@ -77,4 +97,18 @@ func ReasonWithCatalog(prog *Program, g *pg.Graph, cat *Catalog, opts vadalog.Op
 		ReasonDuration: reasonDur,
 		FlushDuration:  flushDur,
 	}, nil
+}
+
+// ctxErr maps a done context onto the engine's typed interruption errors, so
+// cancellation between phases surfaces the same way as cancellation inside
+// the fixpoint.
+func ctxErr(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return vadalog.ErrTimeout
+	default:
+		return vadalog.ErrCanceled
+	}
 }

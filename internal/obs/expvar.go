@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+	"sync/atomic"
+)
+
+// Process-wide engine counters. The engine bumps them on every run
+// completion; RegisterExpvar exposes them under the "vadalog" expvar map.
+var (
+	runsTotal    atomic.Int64
+	runsCanceled atomic.Int64
+	runsTimedOut atomic.Int64
+	runsErrored  atomic.Int64
+	roundsTotal  atomic.Int64
+	derivedTotal atomic.Int64
+	registerOnce sync.Once
+)
+
+// CountRun folds one finished engine run into the process-wide counters.
+// Status follows Outcome.Status: "ok", "canceled", "timeout" or "error".
+func CountRun(status string, rounds, derived int) {
+	runsTotal.Add(1)
+	roundsTotal.Add(int64(rounds))
+	derivedTotal.Add(int64(derived))
+	switch status {
+	case "canceled":
+		runsCanceled.Add(1)
+	case "timeout":
+		runsTimedOut.Add(1)
+	case "error":
+		runsErrored.Add(1)
+	}
+}
+
+// CounterSnapshot is a point-in-time copy of the process-wide counters.
+type CounterSnapshot struct {
+	Runs, Canceled, TimedOut, Errored int64
+	Rounds, Derived                   int64
+}
+
+// Counters returns the current process-wide counter values.
+func Counters() CounterSnapshot {
+	return CounterSnapshot{
+		Runs:     runsTotal.Load(),
+		Canceled: runsCanceled.Load(),
+		TimedOut: runsTimedOut.Load(),
+		Errored:  runsErrored.Load(),
+		Rounds:   roundsTotal.Load(),
+		Derived:  derivedTotal.Load(),
+	}
+}
+
+// RegisterExpvar publishes the engine counters as the expvar map "vadalog"
+// (served at /debug/vars). Safe to call more than once.
+func RegisterExpvar() {
+	registerOnce.Do(func() {
+		m := new(expvar.Map)
+		m.Set("runs", expvar.Func(func() any { return runsTotal.Load() }))
+		m.Set("runs_canceled", expvar.Func(func() any { return runsCanceled.Load() }))
+		m.Set("runs_timed_out", expvar.Func(func() any { return runsTimedOut.Load() }))
+		m.Set("runs_errored", expvar.Func(func() any { return runsErrored.Load() }))
+		m.Set("rounds", expvar.Func(func() any { return roundsTotal.Load() }))
+		m.Set("facts_derived", expvar.Func(func() any { return derivedTotal.Load() }))
+		expvar.Publish("vadalog", m)
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing /debug/vars (expvar,
+// including the engine counters) and /debug/pprof. It returns once the
+// listener is bound; the server runs until the process exits. The CLIs wire
+// this to their -pprof flag.
+func ServeDebug(addr string) error {
+	RegisterExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	return nil
+}

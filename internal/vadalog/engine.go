@@ -1,11 +1,14 @@
 package vadalog
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -30,6 +33,18 @@ type Options struct {
 	// provenance run evaluates every rule sequentially even when Workers
 	// asks for parallelism.
 	Provenance bool
+	// Timeout bounds the wall-clock duration of the run. When it expires the
+	// engine stops cooperatively at the next round or shard boundary and
+	// returns ErrTimeout together with the partial result. 0 means no bound.
+	// The timeout composes with any deadline already on the context passed to
+	// RunCtx/RunInPlaceCtx; whichever expires first wins.
+	Timeout time.Duration
+	// Trace, when non-nil, receives the observability trace of the run: one
+	// obs.RunTrace with per-rule counters (evaluations, firings, derived
+	// facts, join probes, wall time), per-round delta sizes, and the outcome.
+	// Everything but the wall times is deterministic and worker-count
+	// independent; obs.Trace.WriteJSON serializes exactly that subset.
+	Trace *obs.Trace
 	// Workers sets the number of goroutines used to evaluate each rule.
 	// Values <= 1 select the sequential engine. With Workers >= 2, the
 	// driver window of every shardable rule is partitioned into shards
@@ -42,6 +57,51 @@ type Options struct {
 }
 
 const defaultMaxRounds = 1 << 20
+
+// ErrCanceled and ErrTimeout are the typed interruption errors of a run.
+// Both are detected cooperatively at round and shard boundaries, and both
+// come back alongside a non-nil partial Result whose Stats (and DB) reflect
+// the work completed before the interruption. Match with errors.Is.
+var (
+	// ErrCanceled reports that the context passed to RunCtx/RunInPlaceCtx
+	// (or PropagateCtx) was canceled.
+	ErrCanceled = errors.New("vadalog: run canceled")
+	// ErrTimeout reports that Options.Timeout — or a deadline already on the
+	// caller's context — expired.
+	ErrTimeout = errors.New("vadalog: run timed out")
+)
+
+// canonicalRunErr maps raw context errors surfacing from the evaluation
+// stack onto the package's typed sentinels; other errors pass through.
+func canonicalRunErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCanceled) || errors.Is(err, ErrTimeout):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrTimeout
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	default:
+		return err
+	}
+}
+
+// statusOf classifies a run error for the trace outcome and the process-wide
+// counters.
+func statusOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
 
 // RunStats summarizes a reasoning run.
 type RunStats struct {
@@ -67,13 +127,41 @@ func (r *Result) Output(pred string) []Fact { return r.DB.SortedFacts(pred) }
 // Run executes the program over the input database and returns the saturated
 // result. The input database is not modified.
 func Run(prog *Program, input *Database, opts Options) (*Result, error) {
-	return RunInPlace(prog, input.Clone(), opts)
+	return RunCtx(context.Background(), prog, input, opts)
+}
+
+// RunCtx is Run under a context: the run stops cooperatively at the next
+// round or shard boundary once ctx is canceled (ErrCanceled) or its deadline
+// — or Options.Timeout — expires (ErrTimeout). On interruption the returned
+// Result is non-nil and carries the partial statistics and database.
+func RunCtx(ctx context.Context, prog *Program, input *Database, opts Options) (*Result, error) {
+	return RunInPlaceCtx(ctx, prog, input.Clone(), opts)
 }
 
 // RunInPlace is Run but saturates the given database directly, avoiding the
 // copy. The database is extended with the derived facts.
 func RunInPlace(prog *Program, db *Database, opts Options) (*Result, error) {
+	return RunInPlaceCtx(context.Background(), prog, db, opts)
+}
+
+// RunInPlaceCtx is RunInPlace under a context (see RunCtx).
+func RunInPlaceCtx(ctx context.Context, prog *Program, db *Database, opts Options) (*Result, error) {
+	e, err := newEngine(ctx, prog, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
 	start := time.Now()
+	e.startPool()
+	err = e.run()
+	e.stopPool()
+	return e.finish(start, err)
+}
+
+// newEngine analyzes and compiles the program and builds an engine bound to
+// ctx. The caller must invoke release (directly or via finish-completing
+// wrappers) so any Options.Timeout timer is stopped.
+func newEngine(ctx context.Context, prog *Program, db *Database, opts Options) (*engine, error) {
 	an, err := Analyze(prog)
 	if err != nil {
 		return nil, err
@@ -81,7 +169,13 @@ func RunInPlace(prog *Program, db *Database, opts Options) (*Result, error) {
 	if opts.RequireWarded && !an.Warded {
 		return nil, fmt.Errorf("vadalog: program is not warded: %s", strings.Join(an.Violations, "; "))
 	}
-	e := &engine{prog: prog, an: an, db: db, opts: opts}
+	e := &engine{prog: prog, an: an, db: db, opts: opts, ctx: ctx}
+	if e.ctx == nil {
+		e.ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		e.ctx, e.ctxCancel = context.WithTimeout(e.ctx, opts.Timeout)
+	}
 	if e.opts.MaxRounds == 0 {
 		e.opts.MaxRounds = defaultMaxRounds
 	}
@@ -89,20 +183,52 @@ func RunInPlace(prog *Program, db *Database, opts Options) (*Result, error) {
 		e.prov = map[string]derivation{}
 	}
 	if err := e.prepare(); err != nil {
+		e.release()
 		return nil, err
 	}
-	e.startPool()
-	err = e.run()
-	e.stopPool()
-	if err != nil {
-		return nil, err
+	if opts.Trace != nil {
+		e.trace = opts.Trace.StartRun()
+		for _, cr := range e.rules {
+			e.trace.DeclareRule(cr.idx, cr.rule.Line, ruleLabel(cr))
+		}
 	}
-	return &Result{
-		DB:       db,
-		Analysis: an,
-		Stats:    RunStats{Rounds: e.rounds, FactsDerived: e.derived, Duration: time.Since(start)},
-		prov:     e.prov,
-	}, nil
+	return e, nil
+}
+
+// release stops the engine's own timeout timer, if any.
+func (e *engine) release() {
+	if e.ctxCancel != nil {
+		e.ctxCancel()
+		e.ctxCancel = nil
+	}
+}
+
+// finish builds the Result from the engine state, canonicalizes interruption
+// errors, and records the outcome in the trace and the process counters. The
+// Result is non-nil even on error, so interrupted runs surface their partial
+// statistics (and partially saturated database) next to the typed error.
+func (e *engine) finish(start time.Time, err error) (*Result, error) {
+	err = canonicalRunErr(err)
+	stats := RunStats{Rounds: e.rounds, FactsDerived: e.derived, Duration: time.Since(start)}
+	status := statusOf(err)
+	if e.trace != nil {
+		e.trace.Finish(status, stats.Rounds, stats.FactsDerived, stats.Duration)
+	}
+	obs.CountRun(status, stats.Rounds, stats.FactsDerived)
+	return &Result{DB: e.db, Analysis: e.an, Stats: stats, prov: e.prov}, err
+}
+
+// ruleLabel names a rule by its head predicates.
+func ruleLabel(cr *cRule) string {
+	seen := map[string]bool{}
+	var preds []string
+	for _, h := range cr.heads {
+		if !seen[h.pred] {
+			seen[h.pred] = true
+			preds = append(preds, h.pred)
+		}
+	}
+	return strings.Join(preds, ",")
 }
 
 // engine holds the state of one reasoning run.
@@ -111,6 +237,16 @@ type engine struct {
 	an   *Analysis
 	db   *Database
 	opts Options
+	// ctx carries the cancellation signal; checkCtx polls it at round and
+	// shard boundaries. ctxCancel stops the Options.Timeout timer.
+	ctx       context.Context
+	ctxCancel context.CancelFunc
+	// trace is this run's section of Options.Trace; nil disables recording.
+	// curFirings/curProbes accumulate the counters of the evaluation in
+	// flight (sequential directly, sharded after the merge barrier).
+	trace      *obs.RunTrace
+	curFirings int64
+	curProbes  int64
 	// pool is the worker pool for parallel rule evaluation; nil when the
 	// run is sequential (Workers <= 1, or Provenance is on).
 	pool *workerPool
@@ -554,17 +690,30 @@ func (e *engine) compileRule(idx int) (*cRule, error) {
 	return cr, nil
 }
 
+// checkCtx polls the run context; it returns the raw context error, which
+// finish later canonicalizes to ErrCanceled/ErrTimeout. Called at stratum,
+// round and rule boundaries (shard boundaries poll inside runShards).
+func (e *engine) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
 // run evaluates the program stratum by stratum.
 func (e *engine) run() error {
-	for _, stratum := range e.an.Strata {
-		if err := e.runStratum(stratum); err != nil {
+	for si, stratum := range e.an.Strata {
+		if err := e.runStratum(si, stratum); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (e *engine) runStratum(ruleIdxs []int) error {
+func (e *engine) runStratum(stratumIdx int, ruleIdxs []int) error {
+	if err := e.checkCtx(); err != nil {
+		return err
+	}
 	// Predicates that grow during this stratum's fixpoint.
 	grow := headPreds(e.prog, ruleIdxs)
 	var fixpointRules []*cRule
@@ -587,7 +736,7 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 	// Stratified-aggregate rules read only lower strata; run them once,
 	// before the fixpoint, so their results feed the stratum's other rules.
 	for _, cr := range stratAggRules {
-		if _, err := e.evalStratifiedAgg(cr); err != nil {
+		if _, err := e.evalAgg(cr); err != nil {
 			return err
 		}
 	}
@@ -602,6 +751,9 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 		}
 		total += n
 	}
+	if e.trace != nil {
+		e.trace.AddRound(stratumIdx, 0, total)
+	}
 	if total == 0 {
 		return nil
 	}
@@ -610,6 +762,9 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 	prev := startLens
 	for round := 1; ; round++ {
 		e.rounds++
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		if round > e.opts.MaxRounds {
 			return fmt.Errorf("vadalog: fixpoint did not converge within %d rounds", e.opts.MaxRounds)
 		}
@@ -635,6 +790,9 @@ func (e *engine) runStratum(ruleIdxs []int) error {
 				}
 				inserted += n
 			}
+		}
+		if e.trace != nil {
+			e.trace.AddRound(stratumIdx, round, inserted)
 		}
 		if inserted == 0 {
 			return nil
@@ -703,12 +861,42 @@ func (w deltaWindows) rangeFor(si int, pred string) (int, int) {
 // hasMonotonicAgg); stratified-aggregate rules take their own sharded path
 // through evalStratifiedAgg.
 func (e *engine) eval(cr *cRule, w windows) (int, error) {
+	if err := e.checkCtx(); err != nil {
+		return 0, err
+	}
+	if e.trace == nil {
+		return e.evalDispatch(cr, w)
+	}
+	e.curFirings, e.curProbes = 0, 0
+	start := time.Now()
+	n, err := e.evalDispatch(cr, w)
+	e.trace.AddEval(cr.idx, e.curFirings, int64(n), e.curProbes, time.Since(start))
+	return n, err
+}
+
+// evalDispatch routes a rule evaluation to the sharded or sequential engine.
+func (e *engine) evalDispatch(cr *cRule, w windows) (int, error) {
 	if e.pool != nil && cr.aggStep < 0 && e.prov == nil {
 		if driver := driverStep(cr, w); driver >= 0 {
 			return e.evalRuleSharded(cr, w, driver)
 		}
 	}
 	return e.evalRule(cr, w)
+}
+
+// evalAgg is the traced wrapper around evalStratifiedAgg, mirroring eval.
+func (e *engine) evalAgg(cr *cRule) (int, error) {
+	if err := e.checkCtx(); err != nil {
+		return 0, err
+	}
+	if e.trace == nil {
+		return e.evalStratifiedAgg(cr)
+	}
+	e.curFirings, e.curProbes = 0, 0
+	start := time.Now()
+	n, err := e.evalStratifiedAgg(cr)
+	e.trace.AddEval(cr.idx, e.curFirings, int64(n), e.curProbes, time.Since(start))
+	return n, err
 }
 
 // driverStep picks the join step whose window partitions the rule's work: the
@@ -741,7 +929,10 @@ func (e *engine) evalRule(cr *cRule, w windows) (int, error) {
 		inserted += n
 		return err
 	}
-	if err := c.step(0); err != nil {
+	err := c.step(0)
+	e.curFirings += c.firings
+	e.curProbes += c.probes
+	if err != nil {
 		return 0, err
 	}
 	return inserted, nil
@@ -776,11 +967,19 @@ type evalCtx struct {
 	// the same evaluation has failed; nil for sequential runs.
 	cancelled *atomicBool
 
+	// firings counts complete body matches and probes the candidate facts
+	// visited at join steps. The counters are local to the traversal (one
+	// per shard in parallel runs) and are folded into the engine's current
+	// evaluation — and from there into the obs trace — by the caller.
+	firings int64
+	probes  int64
+
 	onMatch func() error
 }
 
 func (c *evalCtx) step(si int) error {
 	if si == c.limit {
+		c.firings++
 		return c.onMatch()
 	}
 	e, cr, slots := c.e, c.cr, c.slots
@@ -803,6 +1002,7 @@ func (c *evalCtx) step(si int) error {
 			if c.cancelled != nil && c.cancelled.Load() {
 				return errEvalCancelled
 			}
+			c.probes++
 			f := rel.At(pos)
 			for _, i := range st.binderPos {
 				slots[st.argSlot[i]] = f[i]
@@ -980,7 +1180,10 @@ func (e *engine) evalStratifiedAgg(cr *cRule) (int, error) {
 		shardStep:   -1,
 	}
 	c.onMatch = func() error { return accumulateGroup(cr, c.slots, groups) }
-	if err := c.step(0); err != nil {
+	err := c.step(0)
+	e.curFirings += c.firings
+	e.curProbes += c.probes
+	if err != nil {
 		return 0, err
 	}
 	return e.emitAggGroups(cr, groups)

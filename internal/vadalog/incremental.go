@@ -1,8 +1,11 @@
 package vadalog
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -25,6 +28,13 @@ type Incremental struct {
 // non-monotonic re-aggregation would require view maintenance, which batch
 // recomputation covers.
 func NewIncremental(prog *Program, db *Database, opts Options) (*Incremental, error) {
+	return NewIncrementalCtx(context.Background(), prog, db, opts)
+}
+
+// NewIncrementalCtx is NewIncremental under a context: the initial fixpoint
+// honors ctx and Options.Timeout exactly like RunCtx (typed ErrCanceled /
+// ErrTimeout). An interrupted initial run returns the error and no handle.
+func NewIncrementalCtx(ctx context.Context, prog *Program, db *Database, opts Options) (*Incremental, error) {
 	for _, r := range prog.Rules {
 		for _, l := range r.Body {
 			if l.Kind == LitNegAtom {
@@ -35,26 +45,19 @@ func NewIncremental(prog *Program, db *Database, opts Options) (*Incremental, er
 			return nil, fmt.Errorf("vadalog: incremental maintenance requires monotonic aggregation only (rule at line %d)", r.Line)
 		}
 	}
-	an, err := Analyze(prog)
+	e, err := newEngine(ctx, prog, db, opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.RequireWarded && !an.Warded {
-		return nil, fmt.Errorf("vadalog: program is not warded")
-	}
-	e := &engine{prog: prog, an: an, db: db, opts: opts}
-	if e.opts.MaxRounds == 0 {
-		e.opts.MaxRounds = defaultMaxRounds
-	}
-	if e.opts.Provenance {
-		e.prov = map[string]derivation{}
-	}
-	if err := e.prepare(); err != nil {
-		return nil, err
-	}
+	start := time.Now()
 	e.startPool()
 	err = e.run()
 	e.stopPool()
+	_, err = e.finish(start, err)
+	// The construction context (and any Options.Timeout timer) covers only
+	// the initial fixpoint; each PropagateCtx installs its own.
+	e.release()
+	e.ctx = context.Background()
 	if err != nil {
 		return nil, err
 	}
@@ -81,22 +84,56 @@ func (inc *Incremental) Add(pred string, vals ...value.Value) error {
 // accumulators carry over, so running sums continue from their previous
 // values exactly as a full recomputation would reach them.
 func (inc *Incremental) Propagate() (int, error) {
-	before := inc.eng.derived
-	inc.eng.startPool()
-	defer inc.eng.stopPool()
-	for _, stratum := range inc.eng.an.Strata {
-		if err := inc.eng.resumeStratum(stratum, inc.lastLens); err != nil {
-			return inc.eng.derived - before, err
+	return inc.PropagateCtx(context.Background())
+}
+
+// PropagateCtx is Propagate under a context: cancellation and Options.Timeout
+// interrupt the resumed fixpoint at round and shard boundaries with the same
+// typed errors as RunCtx. On interruption the already-propagated facts stay
+// in the database and the delta baseline is left untouched, so a later
+// PropagateCtx resumes from the last completed propagation (re-derivations
+// are deduplicated by insertion).
+func (inc *Incremental) PropagateCtx(ctx context.Context) (int, error) {
+	e := inc.eng
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		e.ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
+	before, roundsBefore := e.derived, e.rounds
+	start := time.Now()
+	e.startPool()
+	defer e.stopPool()
+	var err error
+	for si, stratum := range e.an.Strata {
+		if err = e.resumeStratum(si, stratum, inc.lastLens); err != nil {
+			break
 		}
 	}
-	inc.lastLens = inc.eng.lens()
-	return inc.eng.derived - before, nil
+	err = canonicalRunErr(err)
+	status := statusOf(err)
+	if e.trace != nil {
+		e.trace.Finish(status, e.rounds, e.derived, time.Since(start))
+	}
+	obs.CountRun(status, e.rounds-roundsBefore, e.derived-before)
+	if err != nil {
+		return e.derived - before, err
+	}
+	inc.lastLens = e.lens()
+	return e.derived - before, nil
 }
 
 // resumeStratum runs the stratum's fixpoint treating every relation that
 // grew since base as the initial delta (new EDB facts and lower-stratum
 // derivations alike).
-func (e *engine) resumeStratum(ruleIdxs []int, base map[string]int) error {
+func (e *engine) resumeStratum(stratumIdx int, ruleIdxs []int, base map[string]int) error {
+	if err := e.checkCtx(); err != nil {
+		return err
+	}
 	grow := headPreds(e.prog, ruleIdxs)
 	// Changed predicates: anything that grew since the last propagation,
 	// plus the stratum's own heads (which may grow during this fixpoint).
@@ -125,6 +162,9 @@ func (e *engine) resumeStratum(ruleIdxs []int, base map[string]int) error {
 	prev := base
 	for round := 1; ; round++ {
 		e.rounds++
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		if round > e.opts.MaxRounds {
 			return fmt.Errorf("vadalog: incremental fixpoint did not converge within %d rounds", e.opts.MaxRounds)
 		}
@@ -142,6 +182,9 @@ func (e *engine) resumeStratum(ruleIdxs []int, base map[string]int) error {
 				}
 				inserted += n
 			}
+		}
+		if e.trace != nil {
+			e.trace.AddRound(stratumIdx, round, inserted)
 		}
 		if inserted == 0 {
 			return nil

@@ -24,6 +24,7 @@ package vadalog
 // needs a global insertion order).
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -71,8 +72,11 @@ func (p *workerPool) close() {
 // them. Shards are claimed from an atomic counter, so any number of shards
 // works with any pool size. On failure the lowest-indexed error among the
 // shards that ran is returned, the cancel flag is raised so in-flight
-// shards abort cooperatively, and unclaimed shards are skipped.
-func (p *workerPool) runShards(shards int, cancel *atomicBool, fn func(shard int) error) error {
+// shards abort cooperatively, and unclaimed shards are skipped. A non-nil
+// ctx is polled at every shard boundary: once it is done, no further shard
+// starts and its error surfaces like a shard failure (run cancellation
+// therefore interrupts between shards, not only between rounds).
+func (p *workerPool) runShards(ctx context.Context, shards int, cancel *atomicBool, fn func(shard int) error) error {
 	if shards <= 0 {
 		return nil
 	}
@@ -85,6 +89,13 @@ func (p *workerPool) runShards(shards int, cancel *atomicBool, fn func(shard int
 			i := int(next.Add(1) - 1)
 			if i >= shards || cancel.Load() {
 				return
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					cancel.Store(true)
+					return
+				}
 			}
 			if err := fn(i); err != nil {
 				if !errors.Is(err, errEvalCancelled) {
@@ -218,6 +229,10 @@ func (e *engine) evalRuleSharded(cr *cRule, w windows, driver int) (int, error) 
 	plan := shardPlan(hi - lo)
 	e.prewarmIndexes(cr)
 	buffers := make([][]pendingFact, len(plan))
+	// Per-shard observability counters, summed after the barrier. The shard
+	// plan is worker-count independent, so the sums are too.
+	firings := make([]int64, len(plan))
+	probes := make([]int64, len(plan))
 	var cancel atomicBool
 	// MaxFacts valve: without it, a rule that overshoots the fact limit
 	// would buffer its entire (possibly enormous) match set before the merge
@@ -231,7 +246,7 @@ func (e *engine) evalRuleSharded(cr *cRule, w windows, driver int) (int, error) 
 	}
 	var pending atomic.Int64
 	var overBudget atomicBool
-	err := e.pool.runShards(len(plan), &cancel, func(s int) error {
+	err := e.pool.runShards(e.ctx, len(plan), &cancel, func(s int) error {
 		var buf []pendingFact
 		c := &evalCtx{
 			e: e, cr: cr, w: w,
@@ -252,12 +267,18 @@ func (e *engine) evalRuleSharded(cr *cRule, w windows, driver int) (int, error) 
 				return nil
 			})
 		}
-		if err := c.step(0); err != nil {
+		err := c.step(0)
+		firings[s], probes[s] = c.firings, c.probes
+		if err != nil {
 			return err
 		}
 		buffers[s] = buf
 		return nil
 	})
+	for s := range plan {
+		e.curFirings += firings[s]
+		e.curProbes += probes[s]
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -313,8 +334,10 @@ func (e *engine) evalStratifiedAggSharded(cr *cRule, driver int) (int, error) {
 	}
 	e.prewarmIndexes(cr)
 	shardGroups := make([]map[string]*aggAccum, len(plan))
+	firings := make([]int64, len(plan))
+	probes := make([]int64, len(plan))
 	var cancel atomicBool
-	err := e.pool.runShards(len(plan), &cancel, func(s int) error {
+	err := e.pool.runShards(e.ctx, len(plan), &cancel, func(s int) error {
 		groups := map[string]*aggAccum{}
 		c := &evalCtx{
 			e: e, cr: cr, w: fullWindows{},
@@ -327,12 +350,18 @@ func (e *engine) evalStratifiedAggSharded(cr *cRule, driver int) (int, error) {
 			cancelled:   &cancel,
 		}
 		c.onMatch = func() error { return accumulateGroup(cr, c.slots, groups) }
-		if err := c.step(0); err != nil {
+		err := c.step(0)
+		firings[s], probes[s] = c.firings, c.probes
+		if err != nil {
 			return err
 		}
 		shardGroups[s] = groups
 		return nil
 	})
+	for s := range plan {
+		e.curFirings += firings[s]
+		e.curProbes += probes[s]
+	}
 	if err != nil {
 		return 0, err
 	}

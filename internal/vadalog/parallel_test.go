@@ -1,12 +1,14 @@
 package vadalog
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -136,10 +138,12 @@ func TestParallelDifferential(t *testing.T) {
 
 		par8Opts := opts
 		par8Opts.Workers = 8
+		par8Opts.Trace = obs.NewTrace()
 		par8, errPar8 := Run(prog, db, par8Opts)
 
 		par3Opts := opts
 		par3Opts.Workers = 3
+		par3Opts.Trace = obs.NewTrace()
 		par3, errPar3 := Run(prog, db, par3Opts)
 
 		if errSeq != nil || errPar8 != nil || errPar3 != nil {
@@ -172,6 +176,20 @@ func TestParallelDifferential(t *testing.T) {
 					}
 				}
 			}
+		}
+		// The run traces — firings, probes, derived counts, round deltas —
+		// must also be identical across parallel worker counts: the shard
+		// plan depends only on window sizes, never on the worker count.
+		var t8, t3 bytes.Buffer
+		if err := par8Opts.Trace.WriteJSON(&t8); err != nil {
+			t.Fatal(err)
+		}
+		if err := par3Opts.Trace.WriteJSON(&t3); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(t8.Bytes(), t3.Bytes()) {
+			t.Fatalf("program %d: run traces diverge between workers=8 and workers=3\nprogram:\n%s\nworkers=8:\n%s\nworkers=3:\n%s",
+				i, src, t8.String(), t3.String())
 		}
 		compared++
 	}
@@ -304,7 +322,7 @@ func TestWorkerPoolFirstError(t *testing.T) {
 	defer p.close()
 	var cancel atomicBool
 	ran := make([]bool, 100)
-	err := p.runShards(100, &cancel, func(s int) error {
+	err := p.runShards(nil, 100, &cancel, func(s int) error {
 		ran[s] = true
 		if s == 7 {
 			return fmt.Errorf("boom at shard %d", s)
@@ -319,7 +337,7 @@ func TestWorkerPoolFirstError(t *testing.T) {
 	}
 	// A second batch on the same pool must work (no poisoned workers).
 	var cancel2 atomicBool
-	if err := p.runShards(50, &cancel2, func(int) error { return nil }); err != nil {
+	if err := p.runShards(nil, 50, &cancel2, func(int) error { return nil }); err != nil {
 		t.Fatalf("second batch: %v", err)
 	}
 }

@@ -1,11 +1,13 @@
 package vadalog
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -376,5 +378,138 @@ func TestRelationLookupWindows(t *testing.T) {
 	}
 	if r.Contains(Fact{value.IntV(9), value.IntV(9)}) {
 		t.Error("Contains reports a missing fact")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Golden run traces: worker-count independence
+// ---------------------------------------------------------------------------
+
+// traceBytes runs prog over a clone of db with the given worker count and
+// returns the deterministic JSON serialization of its run trace.
+func traceBytes(t *testing.T, prog *Program, db *Database, workers int) []byte {
+	t.Helper()
+	tr := obs.NewTrace()
+	if _, err := Run(prog, db, Options{Workers: workers, Trace: tr}); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceWorkerIndependence: for linear programs — one growing-
+// predicate occurrence per rule, so the sequential engine sees exactly the
+// delta windows the sharded one does — the full JSON run trace (per-rule
+// firings, derived facts, join probes, per-round delta sizes, outcome) is
+// byte-identical across worker counts. Two fixtures: a recursive closure
+// and a stratified program with negation.
+func TestGoldenTraceWorkerIndependence(t *testing.T) {
+	shrinkShards(t)
+	fixtures := []struct{ name, src string }{
+		{"linear recursion", `
+			tc(X,Y) :- edge(X,Y).
+			tc(X,Z) :- tc(X,Y), edge(Y,Z).
+		`},
+		{"negation over closure", `
+			tc(X,Y) :- edge(X,Y).
+			tc(X,Z) :- tc(X,Y), edge(Y,Z).
+			oneway(X,Y) :- tc(X,Y), not tc(Y,X).
+			acyclic(X) :- node(X), not tc(X,X).
+		`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			prog := MustParse(fx.src)
+			db := randomEdgeDB(42, 40, 120)
+			for i := 0; i < 40; i++ {
+				db.MustAddFact("node", value.IntV(int64(i)))
+			}
+			base := traceBytes(t, prog, db, 1)
+			// The trace must actually carry counters, not vacuous zeros.
+			for _, field := range []string{`"firings"`, `"probes"`, `"delta"`, `"status": "ok"`} {
+				if !bytes.Contains(base, []byte(field)) {
+					t.Fatalf("trace misses %s:\n%s", field, base)
+				}
+			}
+			for _, w := range []int{2, 8} {
+				if got := traceBytes(t, prog, db, w); !bytes.Equal(base, got) {
+					t.Errorf("trace differs between workers=1 and workers=%d\nworkers=1:\n%s\nworkers=%d:\n%s",
+						w, base, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSequentialFallbacks: the engine falls back to fully sequential
+// evaluation for provenance recording and for monotonic aggregates even when
+// Workers > 1; the trace must still carry real counters on those paths.
+func TestTraceSequentialFallbacks(t *testing.T) {
+	shrinkShards(t)
+	cases := []struct {
+		name string
+		src  string
+		opts Options
+	}{
+		{
+			name: "provenance forces sequential",
+			src: `
+				tc(X,Y) :- edge(X,Y).
+				tc(X,Z) :- tc(X,Y), edge(Y,Z).
+			`,
+			opts: Options{Workers: 8, Provenance: true},
+		},
+		{
+			name: "monotonic aggregate stratum is sequential",
+			src: `
+				deg(X,V) :- edge(X,Y), V = mcount(<Y>).
+			`,
+			opts: Options{Workers: 8},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := randomEdgeDB(7, 20, 60)
+			tr := obs.NewTrace()
+			opts := tc.opts
+			opts.Trace = tr
+			res, err := Run(MustParse(tc.src), db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs := tr.Runs()
+			if len(runs) != 1 {
+				t.Fatalf("recorded %d runs, want 1", len(runs))
+			}
+			rt := runs[0]
+			var firings, derived, probes int64
+			for _, rs := range rt.Rules {
+				if rs.Evals == 0 {
+					t.Errorf("rule %d never evaluated", rs.Rule)
+				}
+				firings += rs.Firings
+				derived += rs.Derived
+				probes += rs.Probes
+			}
+			if firings == 0 || probes == 0 {
+				t.Errorf("fallback path recorded no work: firings=%d probes=%d", firings, probes)
+			}
+			if derived != int64(res.Stats.FactsDerived) {
+				t.Errorf("per-rule derived sum %d != stats %d", derived, res.Stats.FactsDerived)
+			}
+			var roundDelta int
+			for _, r := range rt.Rounds {
+				roundDelta += r.Delta
+			}
+			if roundDelta != res.Stats.FactsDerived {
+				t.Errorf("round deltas sum to %d, stats say %d", roundDelta, res.Stats.FactsDerived)
+			}
+			if rt.Outcome.Status != "ok" || rt.Outcome.Derived != res.Stats.FactsDerived {
+				t.Errorf("outcome = %+v, stats = %+v", rt.Outcome, res.Stats)
+			}
+		})
 	}
 }
