@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench
+.PHONY: build vet test test-race test-chaos fuzz-smoke check bench
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,25 @@ test-race: build
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestCancel|TestTimeout|TestCallerDeadline|TestGoldenTrace|TestTraceSequentialFallbacks' ./internal/vadalog/
 	$(GO) test -race -run '^$$' -bench 'BenchmarkE11DescFrom|BenchmarkE1GraphStats' -benchtime 1x .
+
+# test-chaos sweeps every registered fault-injection site across error and
+# panic modes (see internal/instance/chaos_test.go and
+# internal/vadalog/fault_test.go), asserting the atomicity invariant,
+# panic containment, and goroutine hygiene. -count=2 reruns the sweep so a
+# site left armed or a counter left dirty by the first pass fails the second.
+test-chaos: build
+	$(GO) test -count=2 -run 'TestChaos|TestStratum|TestShard|TestBestEffort|TestRetry|TestWriteSites|TestMaterializeFlushErrorRollsBack' ./internal/instance/ ./internal/vadalog/ ./internal/pg/ ./internal/fault/
+
+# fuzz-smoke gives each parser fuzz target a short budget — enough to shake
+# out regressions in the corpus without turning CI into a fuzzing farm.
+fuzz-smoke: build
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/metalog/
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/gsl/
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/vadalog/
+
+# check is the tier-1 gate: vet + full suite, the race-detector pass, the
+# chaos sweep, and the fuzz smoke test.
+check: test test-race test-chaos fuzz-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/finance"
 	"repro/internal/fingraph"
 	"repro/internal/graphstats"
@@ -41,17 +42,19 @@ import (
 	"repro/internal/value"
 )
 
-// engTimeout and engTrace hold the -timeout / -trace settings; engineOpts
-// threads them into every reasoning run an experiment performs.
+// engTimeout, engTrace, and engOnFault hold the -timeout / -trace /
+// -on-fault settings; engineOpts threads them into every reasoning run an
+// experiment performs.
 var (
 	engTimeout time.Duration
 	engTrace   *obs.Trace
+	engOnFault vadalog.FaultPolicy
 )
 
 // engineOpts builds the vadalog options for one reasoning run under the
-// global observability/cancellation flags.
+// global observability/cancellation/robustness flags.
 func engineOpts(workers int) vadalog.Options {
-	return vadalog.Options{Workers: workers, Timeout: engTimeout, Trace: engTrace}
+	return vadalog.Options{Workers: workers, Timeout: engTimeout, Trace: engTrace, OnFault: engOnFault}
 }
 
 func main() {
@@ -62,7 +65,18 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock bound per reasoning run (0 = none)")
 	traceFile := flag.String("trace", "", "write the JSON run trace of every reasoning run to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	// kgbench generates its data in memory, so there is nothing for
+	// -retries to retry; it gets only -on-fault and the hidden -chaos.
+	ff := cli.RegisterFaultFlags(flag.CommandLine, false)
 	flag.Parse()
+	onFault, done, err := ff.Apply(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if done {
+		return
+	}
+	engOnFault = onFault
 	engTimeout = *timeout
 	if *traceFile != "" {
 		engTrace = obs.NewTrace()

@@ -13,12 +13,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/finance"
 	"repro/internal/obs"
@@ -42,8 +44,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock bound per reasoning run (0 = none)")
 	traceFile := flag.String("trace", "", "write the JSON run trace (one section per component run) to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	ff := cli.RegisterFaultFlags(flag.CommandLine, true)
 	flag.Parse()
 
+	onFault, done, err := ff.Apply(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if done {
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "kgreason: need -in <kg.json>")
 		os.Exit(2)
@@ -90,13 +100,17 @@ func main() {
 		}
 	}
 
-	opts := vadalog.Options{Workers: *workers, Timeout: *timeout}
+	opts := vadalog.Options{Workers: *workers, Timeout: *timeout, OnFault: onFault}
 	var trace *obs.Trace
 	if *traceFile != "" {
 		trace = obs.NewTrace()
 		opts.Trace = trace
 	}
-	res, err := kg.Materialize(core.PGData(data), 1, opts)
+	src := core.PGData(data)
+	if ff.Retries > 1 {
+		src = core.RetryingData(src, ff.RetryPolicy())
+	}
+	res, err := kg.Materialize(src, 1, opts)
 	if trace != nil {
 		// Written before the error check so interrupted materializations
 		// still leave their partial trace behind.
@@ -104,8 +118,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kgreason:", werr)
 		}
 	}
+	salvaged := false
 	if err != nil {
-		fatal(err)
+		// Under -on-fault best-effort a mid-reasoning failure still returns
+		// the salvaged steps; report them and write the enriched graph, but
+		// exit nonzero so scripts see the run was incomplete.
+		var pe *vadalog.PartialError
+		if errors.As(err, &pe) && res != nil {
+			fmt.Fprintf(os.Stderr, "kgreason: %v — writing the salvaged prefix\n", err)
+			salvaged = true
+		} else {
+			fatal(err)
+		}
 	}
 	names := kg.IntensionalComponents()
 	for i, step := range res.Steps {
@@ -115,16 +139,24 @@ func main() {
 	}
 
 	w := os.Stdout
+	var of *os.File
 	if *out != "" {
-		of, err := os.Create(*out)
+		of, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer of.Close()
 		w = of
 	}
 	if err := data.WriteJSON(w); err != nil {
 		fatal(err)
+	}
+	if of != nil {
+		if err := of.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if salvaged {
+		os.Exit(1)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/vadalog"
 )
@@ -32,8 +33,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run (0 = none); an exceeded bound exits with the partial stats reported")
 	traceFile := flag.String("trace", "", "write the JSON run trace (per-rule counters, round deltas) to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	ff := cli.RegisterFaultFlags(flag.CommandLine, true)
 	flag.Parse()
 
+	onFault, done, err := ff.Apply(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if done {
+		return
+	}
 	if *pprofAddr != "" {
 		if err := obs.ServeDebug(*pprofAddr); err != nil {
 			fatal(err)
@@ -41,7 +50,6 @@ func main() {
 	}
 
 	var src []byte
-	var err error
 	if *in != "" {
 		src, err = os.ReadFile(*in)
 	} else {
@@ -64,25 +72,35 @@ func main() {
 			len(prog.Rules), len(an.Strata), an.Warded, an.PiecewiseLinear)
 	}
 
-	opts := vadalog.Options{MaxFacts: *maxFacts, Provenance: *explain, Timeout: *timeout}
+	opts := vadalog.Options{MaxFacts: *maxFacts, Provenance: *explain, Timeout: *timeout, OnFault: onFault}
 	var trace *obs.Trace
 	if *traceFile != "" {
 		trace = obs.NewTrace()
 		opts.Trace = trace
 	}
-	res, outputs, err := vadalog.RunWithBindings(prog, vadalog.Bindings{BaseDir: *data}, opts)
+	bindings := vadalog.Bindings{BaseDir: *data, Retry: ff.RetryPolicy()}
+	res, outputs, err := vadalog.RunWithBindings(prog, bindings, opts)
 	if trace != nil {
 		// The trace captures whatever ran, including interrupted runs.
 		if werr := writeTrace(trace, *traceFile); werr != nil {
 			fmt.Fprintln(os.Stderr, "vadalog:", werr)
 		}
 	}
+	salvaged := false
 	if err != nil {
-		if errors.Is(err, vadalog.ErrTimeout) || errors.Is(err, vadalog.ErrCanceled) {
+		// A best-effort *PartialError still carries outputs: the completed
+		// strata are a sound (if incomplete) prefix, so export them and exit
+		// nonzero. Interruptions report the partial stats and stop.
+		var pe *vadalog.PartialError
+		if errors.As(err, &pe) && res != nil {
+			fmt.Fprintf(os.Stderr, "vadalog: %v — exporting the salvaged prefix\n", err)
+			salvaged = true
+		} else if errors.Is(err, vadalog.ErrTimeout) || errors.Is(err, vadalog.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "vadalog: %v (partial run recorded)\n", err)
 			os.Exit(1)
+		} else {
+			fatal(err)
 		}
-		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "vadalog: derived %d facts in %v (%d fixpoint rounds)\n",
 		res.Stats.FactsDerived, res.Stats.Duration, res.Stats.Rounds)
@@ -94,20 +112,23 @@ func main() {
 		if err := vadalog.ExportOutputs(prog, res.DB, *export); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	for _, pred := range prog.Outputs() {
-		for _, f := range outputs[pred] {
-			if *explain {
-				proof, err := res.Explain(pred, f, *explainDepth)
-				if err != nil {
-					fatal(err)
+	} else {
+		for _, pred := range prog.Outputs() {
+			for _, f := range outputs[pred] {
+				if *explain {
+					proof, err := res.Explain(pred, f, *explainDepth)
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Print(proof.String())
+					continue
 				}
-				fmt.Print(proof.String())
-				continue
+				fmt.Printf("%s%s\n", pred, f)
 			}
-			fmt.Printf("%s%s\n", pred, f)
 		}
+	}
+	if salvaged {
+		os.Exit(1)
 	}
 }
 

@@ -20,10 +20,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/gsl"
 	"repro/internal/instance"
 	"repro/internal/metalog"
@@ -208,6 +210,24 @@ func RelationalData(tables map[string][]instance.Row) Data {
 	return instance.RelationalSource{Inst: &instance.RelationalInstance{Tables: tables}}
 }
 
+// RetryingData wraps a data instance so transient load failures are retried
+// under the policy, with the dictionary rolled back between attempts (see
+// instance.RetryingSource).
+func RetryingData(src Data, policy fault.RetryPolicy) Data {
+	return instance.RetryingSource{Inner: src, Policy: policy}
+}
+
+// pgData unwraps a source down to its property graph, looking through any
+// RetryingSource wrapper — a retried PG instance still needs the derived
+// components applied back to its data graph.
+func pgData(src Data) (instance.PGSource, bool) {
+	if rs, ok := src.(instance.RetryingSource); ok {
+		src = rs.Inner
+	}
+	pgSrc, ok := src.(instance.PGSource)
+	return pgSrc, ok
+}
+
 // MaterializeResult is the outcome of materializing all registered
 // intensional components over one data instance.
 type MaterializeResult struct {
@@ -230,9 +250,14 @@ func (r *MaterializeResult) Totals() (entities, edges, props int) {
 // derived components are applied back to the data graph after each step, so
 // subsequent programs see the previously derived knowledge — the batch
 // accumulation strategy of Section 6.
+//
+// Under vadalog.BestEffort (Options.OnFault) a step that fails mid-reasoning
+// with a *vadalog.PartialError still contributes its salvaged prefix: the
+// result is returned non-nil alongside the wrapped error, with the partial
+// step included. Every other error returns a nil result.
 func (kg *KG) Materialize(src Data, instanceOID int64, opts vadalog.Options) (*MaterializeResult, error) {
 	out := &MaterializeResult{}
-	pgSrc, isPG := src.(instance.PGSource)
+	pgSrc, isPG := pgData(src)
 	for i, np := range kg.intensional {
 		// Each step gets a fresh dictionary so instance constructs do not
 		// accumulate across steps (the staging-area flush of Section 6).
@@ -242,7 +267,23 @@ func (kg *KG) Materialize(src Data, instanceOID int64, opts vadalog.Options) (*M
 		}
 		res, err := instance.Materialize(dict, src, np.prog, instanceOID+int64(i), opts)
 		if err != nil {
-			return nil, fmt.Errorf("core: materializing %q: %w", np.name, err)
+			// Best-effort salvage (Options.OnFault): the step failed
+			// mid-reasoning but flushed the sound prefix of its saturation.
+			// Keep the step and stop — later programs must not read an
+			// unsaturated prefix — returning the accumulated result next to
+			// the error so callers can report or persist what materialized.
+			var pe *vadalog.PartialError
+			wrapped := fmt.Errorf("core: materializing %q: %w", np.name, err)
+			if !errors.As(err, &pe) || res == nil {
+				return nil, wrapped
+			}
+			out.Steps = append(out.Steps, res)
+			if isPG {
+				if _, aerr := res.ApplyToPG(pgSrc.Data); aerr != nil {
+					return nil, fmt.Errorf("core: applying %q: %w", np.name, aerr)
+				}
+			}
+			return out, wrapped
 		}
 		out.Steps = append(out.Steps, res)
 		if isPG {

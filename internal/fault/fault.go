@@ -1,0 +1,372 @@
+// Package fault is the deterministic fault-injection and crash-containment
+// layer of the reasoning pipeline.
+//
+// The paper's Algorithm 2 deployment at the Bank of Italy is a long-running
+// batch (~160 minutes of reasoning bracketed by load and flush phases);
+// hardening it requires provoking failures at every pipeline boundary and
+// proving the system's invariants hold. This package provides the three
+// ingredients:
+//
+//   - a registry of named injection sites threaded through the pipeline
+//     (load / reason / flush boundaries, pg serialization, shard workers).
+//     Sites are declared with Site at package init, probed with Hit on the
+//     hot path (one atomic load when nothing is armed), and armed by chaos
+//     tests or the CLIs' -chaos flag with a Plan: error, panic or delay on
+//     the Nth hit. Every trigger is counter-driven, never time-driven, so a
+//     chaos run replays identically from its seed and spec.
+//
+//   - typed panic containment: Guard converts a panic into a *PanicError
+//     carrying the recovery site and stack, so a crashing worker goroutine
+//     or pipeline phase degrades into an ordinary error return instead of
+//     killing the process.
+//
+//   - a retry policy (retry.go) with capped exponential backoff and
+//     seed-deterministic jitter, used by the retryable source wrappers.
+//
+// The registry is process-global: injection sites are static program
+// locations, like expvar counters, and a per-run registry would have to be
+// threaded through every package for no testing benefit. Arm/Reset are
+// mutex-guarded; the disarmed fast path is a single atomic load.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed site does when its trigger fires.
+type Mode uint8
+
+const (
+	// ModeError makes Hit return an *InjectedError.
+	ModeError Mode = iota
+	// ModePanic makes Hit panic (contained by the nearest Guard).
+	ModePanic
+	// ModeDelay makes Hit sleep for Plan.Delay before returning nil,
+	// for exercising timeout and cancellation interplay.
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("Mode(%d)", m)
+}
+
+// ParseMode parses the textual mode names used by the -chaos CLI flag.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "error":
+		return ModeError, nil
+	case "panic":
+		return ModePanic, nil
+	case "delay":
+		return ModeDelay, nil
+	}
+	return 0, fmt.Errorf("fault: unknown mode %q (want error, panic or delay)", s)
+}
+
+// ErrInjected is the sentinel every injected error matches through
+// errors.Is, letting tests and retry classifiers distinguish injected
+// faults from organic ones.
+var ErrInjected = errors.New("fault: injected error")
+
+// InjectedError is the error returned by an armed ModeError site.
+type InjectedError struct{ Site string }
+
+func (e *InjectedError) Error() string { return "fault: injected error at " + e.Site }
+
+// Is makes errors.Is(err, ErrInjected) match.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// PanicError is a panic recovered by Guard: the typed form in which a
+// contained crash — injected or organic — surfaces to callers. Site names
+// the containment boundary (e.g. "vadalog/shard", "instance/reason"), not
+// the panic origin; the origin is in Stack.
+type PanicError struct {
+	Site  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fault: panic contained at %s: %v", e.Site, e.Value)
+}
+
+// Guard runs fn and converts a panic into a *PanicError attributed to the
+// named site. It is the containment boundary wrapped around worker
+// goroutines and pipeline phases: a crash inside fn becomes an ordinary
+// error return, leaving the caller's process and state machine intact.
+func Guard(site string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Site: site, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Plan describes when and how an armed site fires.
+type Plan struct {
+	Mode Mode
+	// After is the 1-based hit count on which the plan starts firing;
+	// 0 means 1 (the first hit).
+	After int
+	// Times is how many consecutive hits fire; 0 means 1, negative means
+	// every hit from After on.
+	Times int
+	// Err overrides the injected error for ModeError; nil injects an
+	// *InjectedError naming the site.
+	Err error
+	// Delay is the ModeDelay sleep; 0 means 1ms.
+	Delay time.Duration
+}
+
+// site is one registered injection point.
+type site struct {
+	name  string
+	hits  int64 // hits since the site was last armed
+	plan  *Plan // nil when disarmed
+	fired int   // times the plan has fired since arming
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*site{}
+	// armed is the number of currently armed sites; Hit's fast path is a
+	// single atomic load of it.
+	armed atomic.Int32
+)
+
+// Site declares an injection site and returns its name, so instrumented
+// packages can register from a package-level var:
+//
+//	var siteFlush = fault.Site("instance/flush")
+//
+// Registration is idempotent.
+func Site(name string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := registry[name]; !ok {
+		registry[name] = &site{name: name}
+	}
+	return name
+}
+
+// Sites lists every registered injection site, sorted. The chaos harness
+// sweeps this list; the CLIs print it for -chaos list.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm installs a plan on a registered site, resetting its hit counter so
+// Plan.After counts from this call.
+func Arm(name string, p Plan) error {
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("fault: unknown site %q", name)
+	}
+	if s.plan == nil {
+		armed.Add(1)
+	}
+	if p.After <= 0 {
+		p.After = 1
+	}
+	if p.Times == 0 {
+		p.Times = 1
+	}
+	if p.Delay <= 0 {
+		p.Delay = time.Millisecond
+	}
+	s.plan = &p
+	s.hits = 0
+	s.fired = 0
+	return nil
+}
+
+// Disarm removes the plan of one site, keeping its registration.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := registry[name]; ok && s.plan != nil {
+		s.plan = nil
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site and zeroes all counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range registry {
+		if s.plan != nil {
+			armed.Add(-1)
+		}
+		s.plan = nil
+		s.hits = 0
+		s.fired = 0
+	}
+}
+
+// Hits reports how often a site was probed since it was last armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := registry[name]; ok {
+		return s.hits
+	}
+	return 0
+}
+
+// Fired reports how often a site's plan has fired since arming — chaos
+// tests use it to tell "the fault triggered and was handled" apart from
+// "the fault site was never reached".
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := registry[name]; ok {
+		return s.fired
+	}
+	return 0
+}
+
+// Hit probes an injection site. With nothing armed anywhere it is a single
+// atomic load; with a due plan it returns the injected error, panics, or
+// sleeps according to the plan's mode. Instrumented code treats the
+// returned error exactly like an organic failure of the operation the site
+// brackets.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return hitSlow(name)
+}
+
+func hitSlow(name string) error {
+	mu.Lock()
+	s, ok := registry[name]
+	if !ok || s.plan == nil {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	p := s.plan
+	due := s.hits >= int64(p.After) && (p.Times < 0 || s.hits < int64(p.After+p.Times))
+	if !due {
+		mu.Unlock()
+		return nil
+	}
+	s.fired++
+	mu.Unlock() // release before panicking or sleeping
+	switch p.Mode {
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", name))
+	case ModeDelay:
+		time.Sleep(p.Delay)
+		return nil
+	default:
+		if p.Err != nil {
+			return p.Err
+		}
+		return &InjectedError{Site: name}
+	}
+}
+
+// Step is one entry of a chaos schedule: arm Site with Plan.
+type Step struct {
+	Site string
+	Plan Plan
+}
+
+// Schedule derives a deterministic chaos schedule from a seed: every
+// registered site appears exactly once, in a seed-dependent order, with a
+// mode drawn from modes and a trigger offset in [1,3]. Two runs with the
+// same seed and site registrations produce the same schedule, which is what
+// makes a chaos run reproducible from its seed alone.
+func Schedule(seed int64, modes []Mode) []Step {
+	if len(modes) == 0 {
+		modes = []Mode{ModeError, ModePanic}
+	}
+	sites := Sites()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+	out := make([]Step, len(sites))
+	for i, name := range sites {
+		out[i] = Step{
+			Site: name,
+			Plan: Plan{Mode: modes[rng.Intn(len(modes))], After: 1 + rng.Intn(3)},
+		}
+	}
+	return out
+}
+
+// ParseSpec parses one -chaos injection spec of the form
+// site[:mode[:after]], e.g. "instance/flush:panic" or "pg/read-csv:error:2".
+// The mode defaults to error and after to 1.
+func ParseSpec(spec string) (string, Plan, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	p := Plan{Mode: ModeError}
+	if name == "" {
+		return "", p, fmt.Errorf("fault: empty site in spec %q", spec)
+	}
+	if len(parts) >= 2 && parts[1] != "" {
+		m, err := ParseMode(parts[1])
+		if err != nil {
+			return "", p, err
+		}
+		p.Mode = m
+	}
+	if len(parts) >= 3 {
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 1 {
+			return "", p, fmt.Errorf("fault: bad trigger count %q in spec %q", parts[2], spec)
+		}
+		p.After = n
+	}
+	if len(parts) > 3 {
+		return "", p, fmt.Errorf("fault: malformed spec %q (want site[:mode[:after]])", spec)
+	}
+	return name, p, nil
+}
+
+// ArmSpecs parses and arms a comma-separated list of -chaos specs.
+func ArmSpecs(specs string) error {
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, plan, err := ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		if err := Arm(name, plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Test sites are registered once; the registry is process-global by design.
+var (
+	tsA = Site("test/a")
+	tsB = Site("test/b")
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit(tsA); err != nil {
+		t.Fatalf("disarmed Hit = %v", err)
+	}
+	if err := Hit("never/registered"); err != nil {
+		t.Fatalf("unregistered Hit = %v", err)
+	}
+}
+
+func TestArmErrorAfterAndTimes(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("no/such/site", Plan{}); err == nil {
+		t.Fatal("arming an unregistered site must fail")
+	}
+	if err := Arm(tsA, Plan{Mode: ModeError, After: 2, Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, Hit(tsA) != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fire pattern = %v, want %v", got, want)
+	}
+	if Hits(tsA) != 5 || Fired(tsA) != 2 {
+		t.Fatalf("Hits=%d Fired=%d, want 5 and 2", Hits(tsA), Fired(tsA))
+	}
+	// The armed site does not leak onto other sites.
+	if err := Hit(tsB); err != nil {
+		t.Fatalf("unarmed sibling fired: %v", err)
+	}
+}
+
+func TestInjectedErrorTyping(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm(tsA, Plan{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit(tsA)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not match ErrInjected: %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != tsA {
+		t.Fatalf("injected error = %#v, want *InjectedError at %s", err, tsA)
+	}
+	// A custom error passes through unchanged.
+	custom := errors.New("boom")
+	if err := Arm(tsA, Plan{Mode: ModeError, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(tsA); err != custom {
+		t.Fatalf("custom injected error = %v, want %v", err, custom)
+	}
+}
+
+func TestPanicModeAndGuard(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm(tsA, Plan{Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	err := Guard("test/guard", func() error { return Hit(tsA) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("guarded panic = %v, want *PanicError", err)
+	}
+	if pe.Site != "test/guard" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Site: %q, stack %d bytes}", pe.Site, len(pe.Stack))
+	}
+	// Guard passes ordinary errors and successes through untouched.
+	plain := errors.New("plain")
+	if err := Guard("g", func() error { return plain }); err != plain {
+		t.Fatalf("Guard altered a plain error: %v", err)
+	}
+	if err := Guard("g", func() error { return nil }); err != nil {
+		t.Fatalf("Guard invented an error: %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm(tsA, Plan{Mode: ModeDelay, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(tsA); err != nil {
+		t.Fatalf("delay mode returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+func TestResetAndDisarm(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm(tsA, Plan{Mode: ModeError, Times: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(tsA) == nil {
+		t.Fatal("armed site did not fire")
+	}
+	Disarm(tsA)
+	if err := Hit(tsA); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+	if err := Arm(tsA, Plan{Mode: ModeError, Times: -1}); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if err := Hit(tsA); err != nil {
+		t.Fatalf("site fired after Reset: %v", err)
+	}
+}
+
+func TestSitesSortedAndSchedule(t *testing.T) {
+	Reset()
+	sites := Sites()
+	found := 0
+	for i, s := range sites {
+		if i > 0 && sites[i-1] >= s {
+			t.Fatalf("Sites not sorted: %v", sites)
+		}
+		if s == tsA || s == tsB {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("test sites missing from Sites(): %v", sites)
+	}
+	// Same seed, same schedule; every site appears exactly once.
+	s1 := Schedule(7, nil)
+	s2 := Schedule(7, nil)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("Schedule is not deterministic for a fixed seed")
+	}
+	if len(s1) != len(sites) {
+		t.Fatalf("schedule covers %d of %d sites", len(s1), len(sites))
+	}
+	seen := map[string]bool{}
+	for _, st := range s1 {
+		if seen[st.Site] {
+			t.Fatalf("site %s scheduled twice", st.Site)
+		}
+		seen[st.Site] = true
+		if st.Plan.After < 1 || st.Plan.After > 3 {
+			t.Fatalf("schedule offset %d out of range", st.Plan.After)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		site string
+		plan Plan
+		ok   bool
+	}{
+		{"instance/flush", "instance/flush", Plan{Mode: ModeError}, true},
+		{"instance/flush:panic", "instance/flush", Plan{Mode: ModePanic}, true},
+		{"pg/read-csv:error:3", "pg/read-csv", Plan{Mode: ModeError, After: 3}, true},
+		{"x:delay:2", "x", Plan{Mode: ModeDelay, After: 2}, true},
+		{"", "", Plan{}, false},
+		{"x:bogus", "", Plan{}, false},
+		{"x:error:0", "", Plan{}, false},
+		{"x:error:2:9", "", Plan{}, false},
+	}
+	for _, c := range cases {
+		site, plan, err := ParseSpec(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if site != c.site || plan.Mode != c.plan.Mode || plan.After != c.plan.After {
+			t.Errorf("ParseSpec(%q) = %q %+v", c.spec, site, plan)
+		}
+	}
+}
+
+func TestArmSpecs(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpecs(tsA + ":error:2, " + tsB + ":panic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(tsA); err != nil {
+		t.Fatalf("site A fired on hit 1 with after=2: %v", err)
+	}
+	if err := Hit(tsA); !errors.Is(err, ErrInjected) {
+		t.Fatalf("site A hit 2 = %v, want injected", err)
+	}
+	err := Guard("g", func() error { return Hit(tsB) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("site B = %v, want contained panic", err)
+	}
+	if err := ArmSpecs("no/such:error"); err == nil {
+		t.Fatal("arming an unknown site through specs must fail")
+	}
+}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	before := obs.Counters()
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Seed:        1,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := p.Do("test/op", func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Backoff grows and honors the jitter floor of delay/2.
+	if slept[0] < 5*time.Millisecond || slept[0] > 10*time.Millisecond {
+		t.Errorf("first backoff %v outside [5ms,10ms]", slept[0])
+	}
+	if slept[1] < 10*time.Millisecond || slept[1] > 20*time.Millisecond {
+		t.Errorf("second backoff %v outside [10ms,20ms]", slept[1])
+	}
+	after := obs.Counters()
+	if d := after.Retries - before.Retries; d != 2 {
+		t.Errorf("retry counter grew by %d, want 2", d)
+	}
+	if d := after.RetrySucceeded - before.RetrySucceeded; d != 1 {
+		t.Errorf("retry-succeeded counter grew by %d, want 1", d)
+	}
+}
+
+func TestRetryDeterministicJitter(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		var out []time.Duration
+		p := RetryPolicy{MaxAttempts: 6, Seed: seed, Sleep: func(d time.Duration) { out = append(out, d) }}
+		_ = p.Do("t", func() error { return errors.New("always") })
+		return out
+	}
+	if !reflect.DeepEqual(delays(42), delays(42)) {
+		t.Fatal("same seed produced different backoff sequences")
+	}
+	if reflect.DeepEqual(delays(42), delays(43)) {
+		t.Fatal("different seeds produced identical jitter (suspicious)")
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	before := obs.Counters()
+	last := errors.New("still broken")
+	p := RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do("t", func() error { calls++; return last })
+	if err != last || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want the last error after 3 attempts", err, calls)
+	}
+	if d := obs.Counters().RetryExhausted - before.RetryExhausted; d != 1 {
+		t.Errorf("retry-exhausted counter grew by %d, want 1", d)
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	_ = p.Do("t", func() error { return errors.New("always") })
+	for i, d := range slept {
+		if d > 40*time.Millisecond {
+			t.Fatalf("backoff %d = %v exceeds the 40ms cap", i, d)
+		}
+	}
+}
+
+func TestRetryZeroValueSingleAttempt(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{}.Do("t", func() error { calls++; return errors.New("x") })
+	if err == nil || calls != 1 {
+		t.Fatalf("zero-value policy: calls=%d err=%v, want single failing attempt", calls, err)
+	}
+}
+
+func TestRetryClassifierStopsEarly(t *testing.T) {
+	fatal := errors.New("fatal")
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+		Classify:    func(err error) bool { return !errors.Is(err, fatal) },
+	}
+	calls := 0
+	err := p.Do("t", func() error { calls++; return fatal })
+	if err != fatal || calls != 1 {
+		t.Fatalf("non-retryable error retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryNeverRetriesContainedPanics(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do("t", func() error {
+		calls++
+		return Guard("t", func() error { panic("crash") })
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || calls != 1 {
+		t.Fatalf("contained panic was retried: calls=%d err=%v", calls, err)
+	}
+}

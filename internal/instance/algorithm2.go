@@ -1,14 +1,27 @@
 package instance
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metalog"
 	"repro/internal/pg"
 	"repro/internal/vadalog"
 	"repro/internal/value"
+)
+
+// Fault-injection sites of the materialization pipeline, one per phase of
+// Algorithm 2. The load site sits inside the Source implementations — not at
+// the Materialize boundary — so a RetryingSource wrapper actually covers the
+// injected failure; the other phases are probed at their boundaries.
+var (
+	siteLoad   = fault.Site("instance/load")
+	siteViews  = fault.Site("instance/input-views")
+	siteReason = fault.Site("instance/reason")
+	siteFlush  = fault.Site("instance/flush")
 )
 
 // Source abstracts the data instance D of Algorithm 2: whatever target
@@ -21,6 +34,9 @@ type Source interface {
 type PGSource struct{ Data *pg.Graph }
 
 func (s PGSource) load(d *Dictionary, instanceOID int64) (*Loaded, error) {
+	if err := fault.Hit(siteLoad); err != nil {
+		return nil, err
+	}
 	return d.LoadPG(s.Data, instanceOID)
 }
 
@@ -29,7 +45,42 @@ func (s PGSource) load(d *Dictionary, instanceOID int64) (*Loaded, error) {
 type RelationalSource struct{ Inst *RelationalInstance }
 
 func (s RelationalSource) load(d *Dictionary, instanceOID int64) (*Loaded, error) {
+	if err := fault.Hit(siteLoad); err != nil {
+		return nil, err
+	}
 	return d.LoadRelational(s.Inst, instanceOID)
+}
+
+// RetryingSource retries a transiently failing Source under the policy,
+// rolling the dictionary back between attempts so a retried load replays on
+// exactly the pre-attempt state (same OIDs, same serialization — the
+// "bit-identical to a no-fault run" guarantee the chaos suite asserts).
+// Contained panics are never retried; they surface as *fault.PanicError.
+type RetryingSource struct {
+	Inner  Source
+	Policy fault.RetryPolicy
+}
+
+func (s RetryingSource) load(d *Dictionary, instanceOID int64) (*Loaded, error) {
+	var loaded *Loaded
+	err := s.Policy.Do("instance/load", func() error {
+		snap := d.Graph.Begin()
+		err := fault.Guard("instance/load", func() error {
+			var lerr error
+			loaded, lerr = s.Inner.load(d, instanceOID)
+			return lerr
+		})
+		if err != nil {
+			snap.Rollback()
+			return err
+		}
+		snap.Commit()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loaded, nil
 }
 
 // Result is the outcome of Algorithm 2, with the phase breakdown that
@@ -56,6 +107,17 @@ type Result struct {
 // the input views V_I^Σ, applies the intensional component Σ (translated to
 // Vadalog by MTV), and flushes the derived facts back into the instance
 // constructs via the output views V_O^Σ.
+//
+// Failure semantics (DESIGN.md §9). The whole run executes under one
+// dictionary savepoint and every phase under a fault guard, so Materialize
+// is atomic and crash-contained: on any error — including a panic anywhere
+// in the pipeline, which surfaces as a *fault.PanicError — the dictionary
+// rolls back byte-identical to its pre-call state. The one deliberate
+// exception: when opts.OnFault is vadalog.BestEffort and the reasoning
+// fails partway, the strata that completed are a sound prefix of the
+// saturation, so their facts are flushed and committed, and the Result comes
+// back alongside the *vadalog.PartialError describing what was salvaged. A
+// flush failure always rolls back, best effort or not.
 func Materialize(d *Dictionary, src Source, sigma *metalog.Program, instanceOID int64, opts vadalog.Options) (*Result, error) {
 	cat := CatalogFromSchema(d.Schema)
 	tr, err := metalog.Translate(sigma, cat)
@@ -63,32 +125,70 @@ func Materialize(d *Dictionary, src Source, sigma *metalog.Program, instanceOID 
 		return nil, fmt.Errorf("instance: translating Σ: %w", err)
 	}
 
-	loadStart := time.Now()
-	loaded, err := src.load(d, instanceOID)
-	if err != nil {
-		return nil, fmt.Errorf("instance: loading D into super-components: %w", err)
+	snap := d.Graph.Begin()
+	fail := func(e error) (*Result, error) {
+		snap.Rollback()
+		return nil, e
 	}
-	db, err := loaded.InputViews(cat)
-	if err != nil {
-		return nil, fmt.Errorf("instance: building input views: %w", err)
+
+	loadStart := time.Now()
+	var loaded *Loaded
+	if err := fault.Guard("instance/load", func() error {
+		var lerr error
+		loaded, lerr = src.load(d, instanceOID)
+		return lerr
+	}); err != nil {
+		return fail(fmt.Errorf("instance: loading D into super-components: %w", err))
+	}
+	var db *vadalog.Database
+	if err := fault.Guard("instance/input-views", func() error {
+		if err := fault.Hit(siteViews); err != nil {
+			return err
+		}
+		var verr error
+		db, verr = loaded.InputViews(cat)
+		return verr
+	}); err != nil {
+		return fail(fmt.Errorf("instance: building input views: %w", err))
 	}
 	loadDur := time.Since(loadStart)
 
+	// Reasoning works on the fact database, not the dictionary; its own
+	// stratum and shard guards contain panics on worker goroutines. A
+	// *vadalog.PartialError (BestEffort runs only) is not fatal here: the
+	// completed strata are salvaged through the flush below.
 	reasonStart := time.Now()
-	run, err := vadalog.RunInPlace(tr.Program, db, opts)
-	if err != nil {
-		return nil, fmt.Errorf("instance: reasoning: %w", err)
+	var run *vadalog.Result
+	gerr := fault.Guard("instance/reason", func() error {
+		if err := fault.Hit(siteReason); err != nil {
+			return err
+		}
+		var rerr error
+		run, rerr = vadalog.RunInPlace(tr.Program, db, opts)
+		return rerr
+	})
+	var salvaged *vadalog.PartialError
+	if gerr != nil && !errors.As(gerr, &salvaged) {
+		return fail(fmt.Errorf("instance: reasoning: %w", gerr))
 	}
 	reasonDur := time.Since(reasonStart)
 
 	flushStart := time.Now()
-	derived, err := loaded.Flush(run.DB, tr, cat)
-	if err != nil {
-		return nil, fmt.Errorf("instance: flushing derived components: %w", err)
+	var derived *Derived
+	if err := fault.Guard("instance/flush", func() error {
+		if err := fault.Hit(siteFlush); err != nil {
+			return err
+		}
+		var ferr error
+		derived, ferr = loaded.Flush(run.DB, tr, cat)
+		return ferr
+	}); err != nil {
+		return fail(fmt.Errorf("instance: flushing derived components: %w", err))
 	}
 	flushDur := time.Since(flushStart)
 
-	return &Result{
+	snap.Commit()
+	res := &Result{
 		Loaded:         loaded,
 		Catalog:        cat,
 		Translation:    tr,
@@ -98,7 +198,11 @@ func Materialize(d *Dictionary, src Source, sigma *metalog.Program, instanceOID 
 		LoadDuration:   loadDur,
 		ReasonDuration: reasonDur,
 		FlushDuration:  flushDur,
-	}, nil
+	}
+	if salvaged != nil {
+		return res, salvaged
+	}
+	return res, nil
 }
 
 // ApplyStats reports what ApplyToPG changed in the target graph.
@@ -141,7 +245,9 @@ func (r *Result) ApplyToPG(data *pg.Graph) (ApplyStats, error) {
 		for _, k := range names {
 			v := ent.Attrs[k]
 			if cur, ok := n.Props[k]; !ok || !value.Equal(cur, v) {
-				n.Props[k] = v
+				if err := data.SetNodeProp(dataOID, k, v); err != nil {
+					return stats, err
+				}
 				stats.PropsSet++
 			}
 		}

@@ -275,8 +275,10 @@ func (d *Dictionary) setInstanceAttr(instOID int64, ioid pg.OID, nodeType, attr 
 		ia := d.Graph.Node(e.To)
 		for _, re := range d.Graph.Out(ia.ID) {
 			if re.Label == LRefs && re.To == ac {
-				ia.Props["value"] = v
-				return nil
+				// Through SetNodeProp, not a direct map write: Materialize
+				// flushes under a savepoint, and only journaled writes roll
+				// back (pg/snapshot.go).
+				return d.Graph.SetNodeProp(ia.ID, "value", v)
 			}
 		}
 	}

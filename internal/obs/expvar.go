@@ -18,8 +18,31 @@ var (
 	runsErrored  atomic.Int64
 	roundsTotal  atomic.Int64
 	derivedTotal atomic.Int64
+
+	// Retry counters, bumped by fault.RetryPolicy: individual retry
+	// attempts, and the outcomes of retry sequences (an operation that
+	// eventually succeeded after retrying, or gave up).
+	retriesTotal   atomic.Int64
+	retrySucceeded atomic.Int64
+	retryExhausted atomic.Int64
+
 	registerOnce sync.Once
 )
+
+// CountRetry records one retry attempt of the named operation. The name is
+// currently informational (the counters are process-global); it keeps the
+// call sites self-describing and leaves room for per-op maps.
+func CountRetry(string) { retriesTotal.Add(1) }
+
+// CountRetryOutcome records the end of a retry sequence: success after at
+// least one retry, or exhaustion of the attempt budget.
+func CountRetryOutcome(succeeded bool) {
+	if succeeded {
+		retrySucceeded.Add(1)
+	} else {
+		retryExhausted.Add(1)
+	}
+}
 
 // CountRun folds one finished engine run into the process-wide counters.
 // Status follows Outcome.Status: "ok", "canceled", "timeout" or "error".
@@ -41,17 +64,22 @@ func CountRun(status string, rounds, derived int) {
 type CounterSnapshot struct {
 	Runs, Canceled, TimedOut, Errored int64
 	Rounds, Derived                   int64
+
+	Retries, RetrySucceeded, RetryExhausted int64
 }
 
 // Counters returns the current process-wide counter values.
 func Counters() CounterSnapshot {
 	return CounterSnapshot{
-		Runs:     runsTotal.Load(),
-		Canceled: runsCanceled.Load(),
-		TimedOut: runsTimedOut.Load(),
-		Errored:  runsErrored.Load(),
-		Rounds:   roundsTotal.Load(),
-		Derived:  derivedTotal.Load(),
+		Runs:           runsTotal.Load(),
+		Canceled:       runsCanceled.Load(),
+		TimedOut:       runsTimedOut.Load(),
+		Errored:        runsErrored.Load(),
+		Rounds:         roundsTotal.Load(),
+		Derived:        derivedTotal.Load(),
+		Retries:        retriesTotal.Load(),
+		RetrySucceeded: retrySucceeded.Load(),
+		RetryExhausted: retryExhausted.Load(),
 	}
 }
 
@@ -66,6 +94,9 @@ func RegisterExpvar() {
 		m.Set("runs_errored", expvar.Func(func() any { return runsErrored.Load() }))
 		m.Set("rounds", expvar.Func(func() any { return roundsTotal.Load() }))
 		m.Set("facts_derived", expvar.Func(func() any { return derivedTotal.Load() }))
+		m.Set("retries", expvar.Func(func() any { return retriesTotal.Load() }))
+		m.Set("retries_succeeded", expvar.Func(func() any { return retrySucceeded.Load() }))
+		m.Set("retries_exhausted", expvar.Func(func() any { return retryExhausted.Load() }))
 		expvar.Publish("vadalog", m)
 	})
 }

@@ -9,7 +9,19 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/value"
+)
+
+// Injection sites of the serialization layer: one per reader/writer entry
+// point, probed before any bytes move so an injected failure models the
+// I/O error surfacing from the underlying stream.
+var (
+	siteReadJSON     = fault.Site("pg/read-json")
+	siteWriteJSON    = fault.Site("pg/write-json")
+	siteReadCSV      = fault.Site("pg/read-csv")
+	siteWriteNodeCSV = fault.Site("pg/write-node-csv")
+	siteWriteEdgeCSV = fault.Site("pg/write-edge-csv")
 )
 
 // The paper lists "plain CSV files" among the non-graph-like models frequently
@@ -70,6 +82,9 @@ type jsonGraph struct {
 
 // WriteJSON serializes the graph as a single JSON document.
 func (g *Graph) WriteJSON(w io.Writer) error {
+	if err := fault.Hit(siteWriteJSON); err != nil {
+		return err
+	}
 	doc := jsonGraph{}
 	for _, n := range g.Nodes() {
 		jn := jsonNode{ID: int64(n.ID), Labels: n.Labels, Props: map[string]jsonValue{}}
@@ -92,6 +107,9 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 
 // ReadJSON parses a graph previously written by WriteJSON.
 func ReadJSON(r io.Reader) (*Graph, error) {
+	if err := fault.Hit(siteReadJSON); err != nil {
+		return nil, err
+	}
 	var doc jsonGraph
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("pg: decoding JSON graph: %w", err)
@@ -130,6 +148,9 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 // id,labels,<prop1>,<prop2>,... where the property columns are the union of
 // property names across nodes, sorted. Missing properties serialize as "".
 func (g *Graph) WriteNodeCSV(w io.Writer) error {
+	if err := fault.Hit(siteWriteNodeCSV); err != nil {
+		return err
+	}
 	nodes := g.Nodes()
 	cols := propColumns(nodesProps(nodes))
 	cw := csv.NewWriter(w)
@@ -154,6 +175,9 @@ func (g *Graph) WriteNodeCSV(w io.Writer) error {
 // WriteEdgeCSV writes all edges as CSV with header
 // id,label,from,to,<prop1>,... analogous to WriteNodeCSV.
 func (g *Graph) WriteEdgeCSV(w io.Writer) error {
+	if err := fault.Hit(siteWriteEdgeCSV); err != nil {
+		return err
+	}
 	edges := g.Edges()
 	props := make([]Props, len(edges))
 	for i, e := range edges {
@@ -185,6 +209,9 @@ func (g *Graph) WriteEdgeCSV(w io.Writer) error {
 // WriteNodeCSV and WriteEdgeCSV. Property values are re-parsed as literals;
 // cells holding plain text that is not a valid literal load as strings.
 func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
+	if err := fault.Hit(siteReadCSV); err != nil {
+		return nil, err
+	}
 	g := New()
 	nr := csv.NewReader(nodes)
 	nrecs, err := nr.ReadAll()

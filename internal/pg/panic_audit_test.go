@@ -1,0 +1,56 @@
+package pg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Regression tests for the package's panic audit: the error-returning API
+// must reject user-reachable bad input with errors, and the Must wrappers —
+// reserved for callers that just created both endpoints — keep their
+// documented panic contract so misuse fails loudly in development.
+
+func TestAddEdgeErrorsNeverPanic(t *testing.T) {
+	g := New()
+	n := g.AddNode(nil, nil)
+	if _, err := g.AddEdge(n.ID, 999, "E", nil); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("dangling target: err = %v", err)
+	}
+	if _, err := g.AddEdge(999, n.ID, "E", nil); err == nil {
+		t.Error("dangling source must return an error")
+	}
+}
+
+func TestMustAddEdgePanicContract(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge on a dangling endpoint must panic (programming error)")
+		}
+	}()
+	g := New()
+	n := g.AddNode(nil, nil)
+	g.MustAddEdge(n.ID, 999, "E", nil)
+}
+
+// TestClonePanicFreeOnRandomGraphs pins the "cannot happen" invariant the
+// Clone panics document: for any graph built through the public API —
+// including removals, which leave OID gaps — cloning succeeds and preserves
+// every OID.
+func TestClonePanicFreeOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		// Punch OID gaps: remove a few nodes and edges.
+		if es := g.Edges(); len(es) > 1 {
+			_ = g.RemoveEdge(es[rng.Intn(len(es))].ID)
+		}
+		if ns := g.Nodes(); len(ns) > 2 {
+			_ = g.RemoveNode(ns[rng.Intn(len(ns))].ID)
+		}
+		c := g.Clone()
+		if a, b := serialize(t, g), serialize(t, c); a != b {
+			t.Fatalf("seed %d: clone differs from source", seed)
+		}
+	}
+}

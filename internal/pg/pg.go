@@ -75,6 +75,11 @@ type Graph struct {
 	byEdgeLabel map[string][]OID // edge OIDs per label, sorted
 	out         map[OID][]OID    // node -> outgoing edge OIDs, sorted
 	in          map[OID][]OID    // node -> incoming edge OIDs, sorted
+
+	// Undo journal of the open savepoints (snapshot.go). Mutators append
+	// compensating entries while snapDepth > 0.
+	journal   []undoOp
+	snapDepth int
 }
 
 // New returns an empty graph.
@@ -141,6 +146,7 @@ func cloneEdgeProps(p Props) Props {
 // AddNode creates a node with the given labels and properties and returns it.
 func (g *Graph) AddNode(labels []string, props Props) *Node {
 	n := &Node{ID: g.next, Labels: normalizeLabels(labels), Props: cloneProps(props)}
+	g.record(undoOp{kind: undoAddNode, id: n.ID, prevNext: g.next})
 	g.next++
 	g.nodes[n.ID] = n
 	for _, l := range n.Labels {
@@ -159,6 +165,7 @@ func (g *Graph) AddNodeWithID(id OID, labels []string, props Props) (*Node, erro
 		return nil, fmt.Errorf("pg: OID %d already used by an edge", id)
 	}
 	n := &Node{ID: id, Labels: normalizeLabels(labels), Props: cloneProps(props)}
+	g.record(undoOp{kind: undoAddNode, id: id, prevNext: g.next})
 	g.nodes[id] = n
 	if id >= g.next {
 		g.next = id + 1
@@ -179,8 +186,30 @@ func (g *Graph) AddLabel(id OID, label string) error {
 	if n.HasLabel(label) {
 		return nil
 	}
+	g.record(undoOp{kind: undoAddLabel, id: id, label: label})
 	n.Labels = normalizeLabels(append(n.Labels, label))
 	g.byLabel[label] = insertSorted(g.byLabel[label], id)
+	return nil
+}
+
+// SetNodeProp sets one property of an existing node. Unlike writing
+// node.Props directly, the mutation is journaled, so an open Snapshot can
+// roll it back; code mutating properties on a graph that may be inside a
+// savepoint (the instance flush path) must use it.
+func (g *Graph) SetNodeProp(id OID, key string, v value.Value) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("pg: no node with OID %d", id)
+	}
+	op := undoOp{kind: undoSetProp, id: id, key: key}
+	if old, had := n.Props[key]; had {
+		op.old = Props{key: old}
+	}
+	g.record(op)
+	if n.Props == nil {
+		n.Props = Props{}
+	}
+	n.Props[key] = v
 	return nil
 }
 
@@ -193,6 +222,7 @@ func (g *Graph) AddEdge(from, to OID, label string, props Props) (*Edge, error) 
 		return nil, fmt.Errorf("pg: edge target OID %d does not exist", to)
 	}
 	e := &Edge{ID: g.next, Label: label, From: from, To: to, Props: cloneEdgeProps(props)}
+	g.record(undoOp{kind: undoAddEdge, id: e.ID, prevNext: g.next})
 	g.next++
 	g.edges[e.ID] = e
 	g.byEdgeLabel[label] = insertSorted(g.byEdgeLabel[label], e.ID)
@@ -226,6 +256,7 @@ func (g *Graph) AddEdgeWithID(id, from, to OID, label string, props Props) (*Edg
 		return nil, fmt.Errorf("pg: edge target OID %d does not exist", to)
 	}
 	e := &Edge{ID: id, Label: label, From: from, To: to, Props: cloneEdgeProps(props)}
+	g.record(undoOp{kind: undoAddEdge, id: id, prevNext: g.next})
 	g.edges[id] = e
 	if id >= g.next {
 		g.next = id + 1
@@ -346,6 +377,7 @@ func (g *Graph) RemoveEdge(id OID) error {
 	if !ok {
 		return fmt.Errorf("pg: no edge with OID %d", id)
 	}
+	g.record(undoOp{kind: undoRemoveEdge, edge: e})
 	delete(g.edges, id)
 	g.byEdgeLabel[e.Label] = removeSorted(g.byEdgeLabel[e.Label], id)
 	g.out[e.From] = removeSorted(g.out[e.From], id)
@@ -366,6 +398,7 @@ func (g *Graph) RemoveNode(id OID) error {
 			}
 		}
 	}
+	g.record(undoOp{kind: undoRemoveNode, node: n})
 	delete(g.nodes, id)
 	for _, l := range n.Labels {
 		g.byLabel[l] = removeSorted(g.byLabel[l], id)
@@ -385,6 +418,9 @@ func (g *Graph) Clone() *Graph {
 	}
 	for _, e := range g.Edges() {
 		if _, err := out.AddEdgeWithID(e.ID, e.From, e.To, e.Label, e.Props); err != nil {
+			// Invariant: edge OIDs are unique and every endpoint was copied
+			// by the node loop above, so the insert cannot fail on a graph
+			// that satisfies its own invariants.
 			panic(err)
 		}
 	}

@@ -1,0 +1,51 @@
+package pg
+
+import (
+	"io"
+
+	"repro/internal/fault"
+)
+
+// Retryable readers: the CLI ingestion paths re-open and re-read a source
+// on transient failure instead of aborting a materialization run over a
+// flaky filesystem or network mount. The open callback is invoked once per
+// attempt, so each retry reads a fresh stream from the start; retry counts
+// surface through the internal/obs expvar counters.
+
+// ReadJSONRetry reads a JSON graph with retries under the given policy.
+func ReadJSONRetry(open func() (io.ReadCloser, error), p fault.RetryPolicy) (*Graph, error) {
+	var g *Graph
+	err := p.Do("pg/read-json", func() error {
+		r, err := open()
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		g, err = ReadJSON(r)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadCSVRetry reads a node/edge CSV graph pair with retries under the
+// given policy.
+func ReadCSVRetry(open func() (nodes, edges io.ReadCloser, err error), p fault.RetryPolicy) (*Graph, error) {
+	var g *Graph
+	err := p.Do("pg/read-csv", func() error {
+		nr, er, err := open()
+		if err != nil {
+			return err
+		}
+		defer nr.Close()
+		defer er.Close()
+		g, err = ReadCSV(nr, er)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,41 @@
+// Package testutil holds helpers shared by the test suites of several
+// packages. Production code must not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the goroutine count and returns a function
+// that fails the test if the count has not settled back to that level. Use
+// it around any code that starts worker pools:
+//
+//	check := testutil.CheckGoroutineLeak(t)
+//	... run the code under test ...
+//	check()
+//
+// The check retries with a grace period rather than comparing instantly:
+// pool teardown is asynchronous, and the runtime keeps a few background
+// goroutines of its own whose scheduling this must not race with.
+func CheckGoroutineLeak(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			now := runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutines leaked: %d before, %d after", before, now)
+				return
+			}
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/internal/value"
 )
 
@@ -92,7 +92,7 @@ func TestCancelMidFixpoint(t *testing.T) {
 	shrinkShards(t)
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			checkLeak := testutil.CheckGoroutineLeak(t)
 			db := deepChainDB(200)
 			input := db.TotalFacts()
 			// Enough polls to get well into the fixpoint, few enough to stop
@@ -111,7 +111,7 @@ func TestCancelMidFixpoint(t *testing.T) {
 			if full := 200 * 201 / 2; res.Stats.FactsDerived >= full {
 				t.Errorf("derived %d facts, full closure is %d — cancellation came too late", res.Stats.FactsDerived, full)
 			}
-			waitForGoroutines(t, before)
+			checkLeak()
 		})
 	}
 }
@@ -127,7 +127,7 @@ func TestCancelShardBoundary(t *testing.T) {
 		db.MustAddFact("item", value.IntV(int64(i)))
 	}
 	input := db.TotalFacts()
-	before := runtime.NumGoroutine()
+	checkLeak := testutil.CheckGoroutineLeak(t)
 	// Polls: stratum + round-0 eval checks pass, then the shard claims of
 	// the 16-shard fan-out run the counter below zero mid-evaluation.
 	ctx := newCountdownCtx(10)
@@ -136,7 +136,7 @@ func TestCancelShardBoundary(t *testing.T) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 	checkPartialResult(t, res, input)
-	waitForGoroutines(t, before)
+	checkLeak()
 }
 
 // TestTimeoutTyped: Options.Timeout interrupts a fixpoint that would run for
@@ -148,7 +148,7 @@ func TestTimeoutTyped(t *testing.T) {
 	`)
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			checkLeak := testutil.CheckGoroutineLeak(t)
 			db := NewDatabase()
 			db.MustAddFact("nat", value.IntV(0))
 			start := time.Now()
@@ -163,7 +163,7 @@ func TestTimeoutTyped(t *testing.T) {
 			if res.Stats.FactsDerived == 0 || res.Stats.Rounds == 0 {
 				t.Errorf("timed-out run has empty stats: %+v", res.Stats)
 			}
-			waitForGoroutines(t, before)
+			checkLeak()
 		})
 	}
 }
@@ -276,22 +276,3 @@ func TestStatsOnError(t *testing.T) {
 	}
 }
 
-// waitForGoroutines retries until the goroutine count settles back to the
-// pre-run level (a small grace covers runtime background goroutines), the
-// goleak-style check that the pool tears down on every exit path.
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		now := runtime.NumGoroutine()
-		if now <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Errorf("goroutines leaked: %d before, %d after", before, now)
-			return
-		}
-		runtime.Gosched()
-		time.Sleep(5 * time.Millisecond)
-	}
-}

@@ -45,6 +45,11 @@ type Options struct {
 	// Everything but the wall times is deterministic and worker-count
 	// independent; obs.Trace.WriteJSON serializes exactly that subset.
 	Trace *obs.Trace
+	// OnFault selects the failure policy of the run: FailFast (default)
+	// returns the first stratum failure as-is; BestEffort wraps it in a
+	// *PartialError so callers can salvage the strata that completed. See
+	// FaultPolicy.
+	OnFault FaultPolicy
 	// Workers sets the number of goroutines used to evaluate each rule.
 	// Values <= 1 select the sequential engine. With Workers >= 2, the
 	// driver window of every shardable rule is partitioned into shards
@@ -700,10 +705,11 @@ func (e *engine) checkCtx() error {
 	return e.ctx.Err()
 }
 
-// run evaluates the program stratum by stratum.
+// run evaluates the program stratum by stratum. Each stratum runs under the
+// fault guard and the OnFault policy (faultpolicy.go).
 func (e *engine) run() error {
 	for si, stratum := range e.an.Strata {
-		if err := e.runStratum(si, stratum); err != nil {
+		if err := e.runGuarded(si, stratum); err != nil {
 			return err
 		}
 	}

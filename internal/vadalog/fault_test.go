@@ -1,0 +1,197 @@
+package vadalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/testutil"
+	"repro/internal/value"
+)
+
+// stratProgram has (at least) two strata: the transitive closure, then a
+// negation over it. The stratum boundary is where the fault sites fire.
+var stratProgram = MustParse(`
+	path(X,Y) :- edge(X,Y).
+	path(X,Z) :- path(X,Y), edge(Y,Z).
+	unreached(X) :- node(X), not path(1, X).
+`)
+
+func stratDB(links int) *Database {
+	db := NewDatabase()
+	for i := 1; i <= links; i++ {
+		db.MustAddFact("node", value.IntV(int64(i)))
+		if i < links {
+			db.MustAddFact("edge", value.IntV(int64(i)), value.IntV(int64(i+1)))
+		}
+	}
+	db.MustAddFact("node", value.IntV(0)) // unreached from 1
+	return db
+}
+
+func TestStratumFaultFailFast(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Arm("vadalog/stratum", fault.Plan{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(stratProgram, stratDB(5), Options{})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatal("FailFast must not wrap errors in PartialError")
+	}
+	if res == nil {
+		t.Fatal("error return lost the partial result")
+	}
+}
+
+func TestStratumFaultBestEffortSalvagesPrefix(t *testing.T) {
+	defer fault.Reset()
+	// Let the first stratum (the closure) complete, fail the second.
+	if err := fault.Arm("vadalog/stratum", fault.Plan{Mode: fault.ModeError, After: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(stratProgram, stratDB(5), Options{OnFault: BestEffort})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("PartialError must unwrap to the cause, got %v", err)
+	}
+	if pe.CompletedStrata < 1 || pe.CompletedStrata >= pe.TotalStrata {
+		t.Fatalf("CompletedStrata = %d of %d, want a proper prefix of at least 1", pe.CompletedStrata, pe.TotalStrata)
+	}
+	// The salvaged prefix holds the full closure but nothing from the
+	// failed negation stratum.
+	if got := len(res.Output("path")); got != 4+3+2+1 {
+		t.Errorf("salvaged closure has %d path facts, want 10", got)
+	}
+	if got := len(res.Output("unreached")); got != 0 {
+		t.Errorf("failed stratum leaked %d unreached facts", got)
+	}
+}
+
+func TestBestEffortCompleteRunIsUnchanged(t *testing.T) {
+	// With no fault armed, BestEffort must be indistinguishable from the
+	// default policy.
+	want, err := Run(stratProgram, stratDB(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(stratProgram, stratDB(5), Options{OnFault: BestEffort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"path", "unreached"} {
+		if a, b := fmt.Sprint(want.Output(pred)), fmt.Sprint(got.Output(pred)); a != b {
+			t.Errorf("%s differs under BestEffort:\n%s\nvs\n%s", pred, a, b)
+		}
+	}
+}
+
+func TestBestEffortDoesNotWrapInterruptions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, stratProgram, stratDB(50), Options{OnFault: BestEffort})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatal("interruptions must keep their typed sentinel, not become PartialError")
+	}
+}
+
+func TestStratumPanicContained(t *testing.T) {
+	defer fault.Reset()
+	checkLeak := testutil.CheckGoroutineLeak(t)
+	if err := fault.Arm("vadalog/stratum", fault.Plan{Mode: fault.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(stratProgram, stratDB(5), Options{})
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *fault.PanicError", err)
+	}
+	if pe.Site != "vadalog/stratum" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError carries site %q and %d stack bytes", pe.Site, len(pe.Stack))
+	}
+	if res == nil {
+		t.Fatal("contained panic lost the partial result")
+	}
+	checkLeak()
+}
+
+func TestShardPanicContained(t *testing.T) {
+	defer fault.Reset()
+	shrinkShards(t)
+	checkLeak := testutil.CheckGoroutineLeak(t)
+	if err := fault.Arm("vadalog/shard", fault.Plan{Mode: fault.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	for i := 0; i < 200; i++ {
+		db.MustAddFact("item", value.IntV(int64(i)))
+	}
+	prog := MustParse(`pair(X,Y) :- item(X), item(Y).`)
+	_, err := Run(prog, db, Options{Workers: 8})
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *fault.PanicError (panic on a pool goroutine must not crash)", err)
+	}
+	if pe.Site != "vadalog/shard" {
+		t.Errorf("PanicError site = %q, want vadalog/shard", pe.Site)
+	}
+	if fault.Fired("vadalog/shard") == 0 {
+		t.Fatal("shard site never fired — the test exercised nothing")
+	}
+	checkLeak()
+}
+
+func TestShardErrorInjection(t *testing.T) {
+	defer fault.Reset()
+	shrinkShards(t)
+	checkLeak := testutil.CheckGoroutineLeak(t)
+	if err := fault.Arm("vadalog/shard", fault.Plan{Mode: fault.ModeError, After: 3}); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	for i := 0; i < 200; i++ {
+		db.MustAddFact("item", value.IntV(int64(i)))
+	}
+	prog := MustParse(`pair(X,Y) :- item(X), item(Y).`)
+	_, err := Run(prog, db, Options{Workers: 4})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	checkLeak()
+}
+
+func TestParseFaultPolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    FaultPolicy
+		wantErr bool
+	}{
+		{"", FailFast, false},
+		{"fail-fast", FailFast, false},
+		{"failfast", FailFast, false},
+		{"best-effort", BestEffort, false},
+		{"besteffort", BestEffort, false},
+		{"bogus", FailFast, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseFaultPolicy(tc.in)
+		if (err != nil) != tc.wantErr || got != tc.want {
+			t.Errorf("ParseFaultPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if FailFast.String() != "fail-fast" || BestEffort.String() != "best-effort" {
+		t.Error("FaultPolicy.String misspells a policy")
+	}
+}

@@ -1,0 +1,111 @@
+package vadalog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Failure semantics of a reasoning run (DESIGN.md §9).
+//
+// Every stratum executes under a fault.Guard, so a panic anywhere in the
+// sequential evaluation stack surfaces as a typed *fault.PanicError instead
+// of crashing the process; shard workers carry their own guard in
+// parallel.go because a panic on a pool goroutine would escape the stratum
+// guard entirely. What happens *after* a stratum fails is the caller's
+// choice, expressed through Options.OnFault.
+
+// FaultPolicy selects how a run reacts to a stratum failing with a
+// non-interruption error (injected faults, contained panics, evaluation
+// errors — but never cancellation or timeout, which keep their own typed
+// sentinels under either policy).
+type FaultPolicy int
+
+const (
+	// FailFast (the default) returns the stratum's error as-is. The partial
+	// Result still accompanies it, as for every engine error.
+	FailFast FaultPolicy = iota
+	// BestEffort wraps the error in a *PartialError recording how many
+	// strata completed before the failure. Strata are evaluated in
+	// topological order, so the facts derived by the completed strata are a
+	// sound prefix of the saturation: every fact in the partial database is
+	// a fact of the full one. Callers (the materialization pipeline) may
+	// salvage that prefix instead of discarding the run.
+	BestEffort
+)
+
+func (p FaultPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("FaultPolicy(%d)", int(p))
+	}
+}
+
+// ParseFaultPolicy parses the CLI spelling of a policy.
+func ParseFaultPolicy(s string) (FaultPolicy, error) {
+	switch s {
+	case "fail-fast", "failfast", "":
+		return FailFast, nil
+	case "best-effort", "besteffort":
+		return BestEffort, nil
+	default:
+		return FailFast, fmt.Errorf("vadalog: unknown fault policy %q (want fail-fast or best-effort)", s)
+	}
+}
+
+// PartialError reports a run that failed partway under FaultPolicy
+// BestEffort. The Result returned next to it holds the database saturated
+// through CompletedStrata strata — a sound prefix of the full saturation.
+// Match the underlying failure with errors.Is/As through Unwrap.
+type PartialError struct {
+	// CompletedStrata is the number of strata that finished before the
+	// failure; the failing stratum is CompletedStrata (0-based).
+	CompletedStrata int
+	// TotalStrata is the stratum count of the program.
+	TotalStrata int
+	// Cause is the error the failing stratum returned.
+	Cause error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("vadalog: stratum %d of %d failed (first %d strata salvaged): %v",
+		e.CompletedStrata+1, e.TotalStrata, e.CompletedStrata, e.Cause)
+}
+
+func (e *PartialError) Unwrap() error { return e.Cause }
+
+// siteStratum is probed at the start of every stratum; chaos tests arm it to
+// fail or crash the run between strata.
+var siteStratum = fault.Site("vadalog/stratum")
+
+// isInterruption reports whether err is a cooperative interruption
+// (cancellation or timeout) rather than a failure. Interruptions keep their
+// typed sentinels under every fault policy: the caller asked the run to
+// stop, so there is nothing to salvage or wrap.
+func isInterruption(err error) bool {
+	err = canonicalRunErr(err)
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrTimeout)
+}
+
+// runGuarded evaluates one stratum under the fault guard and applies the
+// OnFault policy to its outcome.
+func (e *engine) runGuarded(si int, stratum []int) error {
+	err := fault.Guard("vadalog/stratum", func() error {
+		if err := fault.Hit(siteStratum); err != nil {
+			return err
+		}
+		return e.runStratum(si, stratum)
+	})
+	if err == nil {
+		return nil
+	}
+	if e.opts.OnFault == BestEffort && !isInterruption(err) {
+		return &PartialError{CompletedStrata: si, TotalStrata: len(e.an.Strata), Cause: err}
+	}
+	return err
+}

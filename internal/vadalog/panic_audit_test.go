@@ -1,0 +1,52 @@
+package vadalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// Panic-audit regressions: user-supplied programs and facts must surface
+// errors through the error-returning API; the Must wrappers keep their
+// documented panic contract for embedded framework programs only.
+
+func TestParseErrorsNeverPanic(t *testing.T) {
+	for _, src := range []string{
+		"p(X :- q(X).",      // unbalanced paren
+		"p(X) :- q(X)",      // missing period
+		":- q(X).",          // empty head
+		"p(1,2) :- p(1).",   // arity clash caught downstream, parse is fine
+		"p(X) :- #garbage.", // junk token
+	} {
+		if _, err := Parse(src); err != nil && strings.Contains(err.Error(), "panic") {
+			t.Errorf("Parse(%q) leaked a panic through its error: %v", src, err)
+		}
+	}
+	if _, err := Parse("p(X :- q(X)."); err == nil {
+		t.Error("malformed program must return a parse error")
+	}
+}
+
+func TestMustParsePanicContract(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on a malformed embedded program must panic")
+		}
+	}()
+	MustParse("p(X :- q(X).")
+}
+
+func TestMustAddFactPanicContract(t *testing.T) {
+	db := NewDatabase()
+	db.MustAddFact("p", value.IntV(1), value.IntV(2))
+	if _, err := db.AddFact("p", value.IntV(3)); err == nil {
+		t.Error("arity mismatch must return an error through AddFact")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddFact on an arity mismatch must panic")
+		}
+	}()
+	db.MustAddFact("p", value.IntV(3))
+}

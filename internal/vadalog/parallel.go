@@ -29,8 +29,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/value"
 )
+
+// siteShard is probed at the start of every shard execution; a panic
+// injected here lands on a pool goroutine, which is exactly the crash the
+// per-shard guard below must contain.
+var siteShard = fault.Site("vadalog/shard")
 
 // atomicBool is the cooperative cancellation flag shared by the shards of
 // one rule evaluation (aliased so engine.go needs no sync/atomic import).
@@ -97,7 +103,17 @@ func (p *workerPool) runShards(ctx context.Context, shards int, cancel *atomicBo
 					return
 				}
 			}
-			if err := fn(i); err != nil {
+			// The guard contains panics from the shard body: a panic on a
+			// pool goroutine would otherwise kill the process (no recover
+			// above us on this stack) and strand done.Wait forever. It
+			// surfaces as a *fault.PanicError like any shard failure.
+			err := fault.Guard("vadalog/shard", func() error {
+				if err := fault.Hit(siteShard); err != nil {
+					return err
+				}
+				return fn(i)
+			})
+			if err != nil {
 				if !errors.Is(err, errEvalCancelled) {
 					errs[i] = err
 				}
