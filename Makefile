@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke check bench
+.PHONY: build vet test test-race test-chaos fuzz-smoke check bench bench-storage
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ test: build vet
 test-race: build
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestCancel|TestTimeout|TestCallerDeadline|TestGoldenTrace|TestTraceSequentialFallbacks' ./internal/vadalog/
+	$(GO) test -race -count=3 -run 'TestFrozenConcurrentReaders|TestFrozenQueryConcurrent|TestConcurrentFrozenReaders' ./internal/pg/ ./internal/metalog/ ./internal/symtab/
 	$(GO) test -race -run '^$$' -bench 'BenchmarkE11DescFrom|BenchmarkE1GraphStats' -benchtime 1x .
 
 # test-chaos sweeps every registered fault-injection site across error and
@@ -45,3 +46,14 @@ check: test test-race test-chaos fuzz-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-storage captures the storage microbenchmarks (EXPERIMENTS.md E19) —
+# frozen vs mutable label scans and adjacency walks in internal/pg, and the
+# hashed vs string-keyed Relation insert/probe paths in internal/vadalog —
+# into BENCH_storage.json via cmd/benchjson. The committed file is the
+# baseline this refactor is judged against; regenerate on comparable hardware
+# before comparing numbers.
+bench-storage: build
+	$(GO) test -run '^$$' -bench 'BenchmarkStorage' -benchmem ./internal/pg/ ./internal/vadalog/ | tee BENCH_storage.txt
+	$(GO) run ./cmd/benchjson < BENCH_storage.txt > BENCH_storage.json
+	rm -f BENCH_storage.txt

@@ -311,6 +311,9 @@ func runAblation(scales []int, seed int64, workers int) {
 		t1 := time.Now()
 		naiveOpts := engineOpts(0)
 		naiveOpts.Naive = true
+		// The naive pass is the last user of db: hand it over instead of
+		// cloning (the semi-naive pass above must keep the defensive copy).
+		naiveOpts.OwnInput = true
 		if _, err := vadalog.Run(prog, db, naiveOpts); err != nil {
 			fatal(err)
 		}
@@ -417,7 +420,10 @@ func runScaling(scales []int, seed int64, workers int) {
 		}
 		seqDur := time.Since(t0)
 		t1 := time.Now()
-		par, err := vadalog.Run(prog, db, engineOpts(workers))
+		// Last user of db: transfer ownership, skipping the input clone.
+		parOpts := engineOpts(workers)
+		parOpts.OwnInput = true
+		par, err := vadalog.Run(prog, db, parOpts)
 		if err != nil {
 			fatal(err)
 		}

@@ -38,7 +38,8 @@ func main() {
 		fatal(err)
 	}
 
-	rows, err := metalog.Query(g, flag.Arg(0), vadalog.Options{})
+	// Queries only read the graph: extract facts from a frozen snapshot.
+	rows, err := metalog.Query(g.Freeze(), flag.Arg(0), vadalog.Options{})
 	if err != nil {
 		fatal(err)
 	}

@@ -35,7 +35,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(graphstats.Compute(g).Table())
+	// The statistics tasks fan out across workers; a frozen snapshot gives
+	// them CSR adjacency and lock-free concurrent reads.
+	fmt.Print(graphstats.Compute(g.Freeze()).Table())
 }
 
 func fatal(err error) {

@@ -65,11 +65,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	violations := models.ValidateInstance(g, view)
-	violations = append(violations, models.ValidateModifiers(g, schema)...)
+	// Validation is read-only; both passes share one frozen snapshot.
+	fz := g.Freeze()
+	violations := models.ValidateInstance(fz, view)
+	violations = append(violations, models.ValidateModifiers(fz, schema)...)
 	if len(violations) == 0 {
 		fmt.Printf("kgvalidate: %d nodes, %d edges — instance conforms to schema %s\n",
-			g.NumNodes(), g.NumEdges(), schema.Name)
+			fz.NumNodes(), fz.NumEdges(), schema.Name)
 		return
 	}
 	fmt.Printf("kgvalidate: %d violations\n", len(violations))

@@ -202,8 +202,11 @@ func (kg *KG) DeployCSVLayout() string { return models.EmitCSVLayout(kg.Schema) 
 // Data wraps a data instance of any supported model for Materialize.
 type Data = instance.Source
 
-// PGData wraps a property-graph data instance.
-func PGData(g *pg.Graph) Data { return instance.PGSource{Data: g} }
+// PGData wraps a property-graph data instance. Any pg.View serves as the
+// read side of Algorithm 2; pass a mutable *pg.Graph when Materialize should
+// apply the derived components back to the data graph (frozen snapshots are
+// materialized without write-back).
+func PGData(g pg.View) Data { return instance.PGSource{Data: g} }
 
 // RelationalData wraps a relational data instance.
 func RelationalData(tables map[string][]instance.Row) Data {
@@ -217,15 +220,21 @@ func RetryingData(src Data, policy fault.RetryPolicy) Data {
 	return instance.RetryingSource{Inner: src, Policy: policy}
 }
 
-// pgData unwraps a source down to its property graph, looking through any
-// RetryingSource wrapper — a retried PG instance still needs the derived
-// components applied back to its data graph.
-func pgData(src Data) (instance.PGSource, bool) {
+// pgData unwraps a source down to its mutable property graph, looking
+// through any RetryingSource wrapper — a retried PG instance still needs the
+// derived components applied back to its data graph. A PGSource holding an
+// immutable view (e.g. a pg.Frozen snapshot) reports false: there is no
+// graph to write back into.
+func pgData(src Data) (*pg.Graph, bool) {
 	if rs, ok := src.(instance.RetryingSource); ok {
 		src = rs.Inner
 	}
 	pgSrc, ok := src.(instance.PGSource)
-	return pgSrc, ok
+	if !ok {
+		return nil, false
+	}
+	mg, ok := pgSrc.Data.(*pg.Graph)
+	return mg, ok
 }
 
 // MaterializeResult is the outcome of materializing all registered
@@ -279,7 +288,7 @@ func (kg *KG) Materialize(src Data, instanceOID int64, opts vadalog.Options) (*M
 			}
 			out.Steps = append(out.Steps, res)
 			if isPG {
-				if _, aerr := res.ApplyToPG(pgSrc.Data); aerr != nil {
+				if _, aerr := res.ApplyToPG(pgSrc); aerr != nil {
 					return nil, fmt.Errorf("core: applying %q: %w", np.name, aerr)
 				}
 			}
@@ -287,7 +296,7 @@ func (kg *KG) Materialize(src Data, instanceOID int64, opts vadalog.Options) (*M
 		}
 		out.Steps = append(out.Steps, res)
 		if isPG {
-			if _, err := res.ApplyToPG(pgSrc.Data); err != nil {
+			if _, err := res.ApplyToPG(pgSrc); err != nil {
 				return nil, fmt.Errorf("core: applying %q: %w", np.name, err)
 			}
 		}

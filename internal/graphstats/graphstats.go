@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pg"
+	"repro/internal/sortedset"
 )
 
 // Stats mirrors the figures of Section 2.1.
@@ -54,7 +55,7 @@ type Stats struct {
 // of the graph; for graphs with more than maxClusteringNodes nodes it is
 // estimated on a deterministic sample of nodes, which is standard practice at
 // the scale of Section 2.1.
-func Compute(g *pg.Graph) Stats { return ComputeWorkers(g, runtime.NumCPU()) }
+func Compute(g pg.View) Stats { return ComputeWorkers(g, runtime.NumCPU()) }
 
 // ComputeWorkers is Compute with an explicit degree of parallelism. The four
 // independent analyses — SCC, WCC, degree statistics with the power-law fit,
@@ -64,7 +65,7 @@ func Compute(g *pg.Graph) Stats { return ComputeWorkers(g, runtime.NumCPU()) }
 // share no state, and the clustering partial sums are reduced in a fixed
 // shard order that does not depend on the worker count (the workers == 1
 // path folds the very same shards in the very same order).
-func ComputeWorkers(g *pg.Graph, workers int) Stats {
+func ComputeWorkers(g pg.View, workers int) Stats {
 	const maxClusteringNodes = 200_000
 
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
@@ -156,7 +157,7 @@ func runTasks(workers int, tasks ...func()) {
 // iterative Tarjan algorithm (the recursion is unrolled so that graphs with
 // millions of nodes do not overflow the stack). Components are returned with
 // their member node OIDs sorted, and components sorted by first member.
-func SCC(g *pg.Graph) [][]pg.OID {
+func SCC(g pg.View) [][]pg.OID {
 	nodes := g.Nodes()
 	index := make(map[pg.OID]int, len(nodes))
 	low := make(map[pg.OID]int, len(nodes))
@@ -217,7 +218,7 @@ func SCC(g *pg.Graph) [][]pg.OID {
 						break
 					}
 				}
-				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				sortedset.Sort(comp)
 				comps = append(comps, comp)
 			}
 			v := f.v
@@ -235,7 +236,7 @@ func SCC(g *pg.Graph) [][]pg.OID {
 }
 
 // WCC returns the weakly connected components via union-find.
-func WCC(g *pg.Graph) [][]pg.OID {
+func WCC(g pg.View) [][]pg.OID {
 	parent := map[pg.OID]pg.OID{}
 	var find func(x pg.OID) pg.OID
 	find = func(x pg.OID) pg.OID {
@@ -268,7 +269,7 @@ func WCC(g *pg.Graph) [][]pg.OID {
 	}
 	comps := make([][]pg.OID, 0, len(groups))
 	for _, members := range groups {
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		sortedset.Sort(members)
 		comps = append(comps, members)
 	}
 	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
@@ -279,7 +280,7 @@ func WCC(g *pg.Graph) [][]pg.OID {
 // undirected simple projection of g. If the graph has more than sampleCap
 // nodes the coefficient is averaged over the first sampleCap nodes in OID
 // order (deterministic sampling).
-func AvgClustering(g *pg.Graph, sampleCap int) float64 {
+func AvgClustering(g pg.View, sampleCap int) float64 {
 	return avgClusteringWorkers(g, sampleCap, 1)
 }
 
@@ -312,7 +313,7 @@ func clusterShards(n int) [][2]int {
 	return out
 }
 
-func avgClusteringWorkers(g *pg.Graph, sampleCap, workers int) float64 {
+func avgClusteringWorkers(g pg.View, sampleCap, workers int) float64 {
 	nodes := g.Nodes()
 	if len(nodes) == 0 {
 		return 0
@@ -423,7 +424,7 @@ func DegreeHistogram(degrees []int) map[int]int {
 }
 
 // InDegrees returns the in-degree of every node, in OID order.
-func InDegrees(g *pg.Graph) []int {
+func InDegrees(g pg.View) []int {
 	nodes := g.Nodes()
 	out := make([]int, len(nodes))
 	for i, n := range nodes {
@@ -433,7 +434,7 @@ func InDegrees(g *pg.Graph) []int {
 }
 
 // OutDegrees returns the out-degree of every node, in OID order.
-func OutDegrees(g *pg.Graph) []int {
+func OutDegrees(g pg.View) []int {
 	nodes := g.Nodes()
 	out := make([]int, len(nodes))
 	for i, n := range nodes {

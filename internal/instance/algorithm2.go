@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metalog"
 	"repro/internal/pg"
+	"repro/internal/sortedset"
 	"repro/internal/vadalog"
 	"repro/internal/value"
 )
@@ -30,8 +31,12 @@ type Source interface {
 	load(d *Dictionary, instanceOID int64) (*Loaded, error)
 }
 
-// PGSource is a property-graph data instance.
-type PGSource struct{ Data *pg.Graph }
+// PGSource is a property-graph data instance. The load phase only reads the
+// graph, so any pg.View works — including a pg.Frozen snapshot, which makes
+// the load side safe to share across concurrent materializations. Callers
+// that want the derived components applied back (core.Materialize,
+// Result.ApplyToPG) must supply a mutable *pg.Graph.
+type PGSource struct{ Data pg.View }
 
 func (s PGSource) load(d *Dictionary, instanceOID int64) (*Loaded, error) {
 	if err := fault.Hit(siteLoad); err != nil {
@@ -284,7 +289,7 @@ func (r *Result) ExportPG() *pg.Graph {
 	for ioid := range r.Loaded.Entities {
 		ioids = append(ioids, ioid)
 	}
-	sort.Slice(ioids, func(i, j int) bool { return ioids[i] < ioids[j] })
+	sortedset.Sort(ioids)
 	for _, ioid := range ioids {
 		ent := r.Loaded.Entities[ioid]
 		labels := append([]string{ent.Type}, s.Ancestors(ent.Type)...)

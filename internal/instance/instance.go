@@ -109,7 +109,7 @@ func inSchema(n *pg.Node, oid int64) bool {
 	return ok && so.K == value.Int && so.I == oid
 }
 
-func constructTypeName(g *pg.Graph, owner pg.OID, label string) (string, bool) {
+func constructTypeName(g pg.View, owner pg.OID, label string) (string, bool) {
 	for _, e := range g.Out(owner) {
 		if e.Label == label {
 			if nm, ok := g.Node(e.To).Props["name"]; ok {
@@ -120,7 +120,7 @@ func constructTypeName(g *pg.Graph, owner pg.OID, label string) (string, bool) {
 	return "", false
 }
 
-func attrIndex(g *pg.Graph, owner pg.OID, label string) map[string]pg.OID {
+func attrIndex(g pg.View, owner pg.OID, label string) map[string]pg.OID {
 	out := map[string]pg.OID{}
 	for _, e := range g.Out(owner) {
 		if e.Label == label {
@@ -231,7 +231,7 @@ func (d *Dictionary) addInstanceEdge(instOID int64, edgeType string, from, to pg
 // reads the data back into the super-model. Each data node must carry
 // exactly one most-specific schema label (multi-label tagging is resolved
 // against the generalization hierarchy).
-func (d *Dictionary) LoadPG(data *pg.Graph, instanceOID int64) (*Loaded, error) {
+func (d *Dictionary) LoadPG(data pg.View, instanceOID int64) (*Loaded, error) {
 	out := &Loaded{
 		Dict:        d,
 		InstanceOID: instanceOID,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metalog"
 	"repro/internal/pg"
+	"repro/internal/sortedset"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
 	"repro/internal/value"
@@ -48,7 +49,7 @@ func (l *Loaded) InputViews(cat *metalog.Catalog) (*vadalog.Database, error) {
 	for ioid := range l.Entities {
 		ioids = append(ioids, ioid)
 	}
-	sort.Slice(ioids, func(i, j int) bool { return ioids[i] < ioids[j] })
+	sortedset.Sort(ioids)
 
 	for _, ioid := range ioids {
 		ent := l.Entities[ioid]

@@ -31,7 +31,7 @@ func NewCatalog() *Catalog {
 
 // FromGraph infers a catalog from the labels and properties present in a
 // graph instance.
-func FromGraph(g *pg.Graph) *Catalog {
+func FromGraph(g pg.View) *Catalog {
 	c := NewCatalog()
 	for _, n := range g.Nodes() {
 		for _, l := range n.Labels {
@@ -118,7 +118,7 @@ func (c *Catalog) edgePropPos(label, prop string) int {
 // ExtractFacts implements translation step (1) of Section 4: it loads a
 // property-graph instance into a relational database instance following the
 // catalog's column layout. Multi-labeled nodes produce one fact per label.
-func ExtractFacts(g *pg.Graph, cat *Catalog) (*vadalog.Database, error) {
+func ExtractFacts(g pg.View, cat *Catalog) (*vadalog.Database, error) {
 	db := vadalog.NewDatabase()
 	for _, n := range g.Nodes() {
 		for _, l := range n.Labels {

@@ -40,13 +40,13 @@ const queryResultLabel = "__QueryResult"
 
 // Query evaluates a MetaLog body pattern against the graph and returns the
 // matches in deterministic order. The catalog is inferred from the graph.
-func Query(g *pg.Graph, pattern string, opts vadalog.Options) ([]QueryRow, error) {
+func Query(g pg.View, pattern string, opts vadalog.Options) ([]QueryRow, error) {
 	return QueryWithCatalog(g, FromGraph(g), pattern, opts)
 }
 
 // QueryWithCatalog is Query with a caller-provided catalog (schema-derived
 // layouts).
-func QueryWithCatalog(g *pg.Graph, cat *Catalog, pattern string, opts vadalog.Options) ([]QueryRow, error) {
+func QueryWithCatalog(g pg.View, cat *Catalog, pattern string, opts vadalog.Options) ([]QueryRow, error) {
 	body, err := ParseBody(pattern)
 	if err != nil {
 		return nil, err

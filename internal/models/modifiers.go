@@ -20,7 +20,7 @@ import (
 // ValidateModifiers checks every node of the instance against the enum,
 // range and default modifiers of its (effective) attributes. Nodes are
 // matched to schema types by their most specific label.
-func ValidateModifiers(g *pg.Graph, s *supermodel.Schema) []Violation {
+func ValidateModifiers(g pg.View, s *supermodel.Schema) []Violation {
 	var out []Violation
 	report := func(subject, detail string, args ...any) {
 		out = append(out, Violation{Kind: "modifier", Subject: subject, Detail: fmt.Sprintf(detail, args...)})

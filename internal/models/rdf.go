@@ -42,7 +42,7 @@ func rdfLiteral(v value.Value) string {
 }
 
 // EmitNTriples serializes the graph as N-Triples under the base IRI.
-func EmitNTriples(g *pg.Graph, base string) string {
+func EmitNTriples(g pg.View, base string) string {
 	base = strings.TrimSuffix(base, "/")
 	nodeIRI := func(id pg.OID) string { return fmt.Sprintf("<%s/node/%d>", base, id) }
 	classIRI := func(l string) string { return fmt.Sprintf("<%s/class/%s>", base, l) }

@@ -50,7 +50,7 @@ func typeMatches(v value.Value, dataType string) bool {
 // like extensional ones (they conform to the same schema once materialized);
 // labels and relationship types absent from the schema are violations.
 // The returned violations are deterministic and sorted.
-func ValidateInstance(g *pg.Graph, view *PGSchemaView) []Violation {
+func ValidateInstance(g pg.View, view *PGSchemaView) []Violation {
 	var out []Violation
 	report := func(kind, subject, detail string, args ...any) {
 		out = append(out, Violation{Kind: kind, Subject: subject, Detail: fmt.Sprintf(detail, args...)})
@@ -197,7 +197,7 @@ func ValidateInstance(g *pg.Graph, view *PGSchemaView) []Violation {
 // allows at most one outgoing edge per source node, a mandatory side
 // requires at least one. It complements ValidateInstance, which works on
 // the translated view (where cardinalities have been lowered into FK shape).
-func ValidateCardinalities(g *pg.Graph, edgeName string, fromMax1, fromMandatory bool, fromLabel string) []Violation {
+func ValidateCardinalities(g pg.View, edgeName string, fromMax1, fromMandatory bool, fromLabel string) []Violation {
 	var out []Violation
 	count := map[pg.OID]int{}
 	for _, e := range g.EdgesByLabel(edgeName) {

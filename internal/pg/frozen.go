@@ -1,0 +1,406 @@
+package pg
+
+// Frozen is the immutable second phase of a graph dictionary's lifecycle.
+// Freeze repacks the mutable store's map-of-pointers representation into
+// columnar arrays — interned label symbols, CSR-packed label membership,
+// property columns, and CSR in/out adjacency — plus a thin pointer facade
+// so Frozen serves the same View method set as Graph.
+//
+// The physical layout is chosen for the read patterns of the reasoning
+// pipeline: label scans and adjacency walks return pre-built shared slices
+// with zero allocation, and a single snapshot is safe for any number of
+// concurrent readers because nothing on the read path mutates. (Graph, by
+// contrast, builds lazy state — nothing today, but its contract reserves
+// the right — and allocates a fresh slice per call.)
+
+import (
+	"sort"
+
+	"repro/internal/symtab"
+	"repro/internal/value"
+)
+
+// Frozen is an immutable snapshot of a Graph. It implements View; returned
+// slices and structs are shared across calls and must not be modified.
+// The zero value is not usable; construct snapshots with Graph.Freeze.
+type Frozen struct {
+	syms *symtab.Table // labels and property keys, interned in sorted order
+
+	// Columnar node storage, one row per node in ascending OID order.
+	// Row i's labels are nodeLabelSyms[nodeLabelOff[i]:nodeLabelOff[i+1]]
+	// and its properties the matching window of nodePropKeys/nodePropVals,
+	// sorted by key symbol (= lexicographic, see Freeze).
+	nodeOIDs     []OID
+	nodeLabelOff []int32
+	nodeLabels   []symtab.Sym
+	nodePropOff  []int32
+	nodePropKeys []symtab.Sym
+	nodePropVals []value.Value
+
+	// Columnar edge storage, ascending OID order.
+	edgeOIDs     []OID
+	edgeLabel    []symtab.Sym
+	edgeFrom     []OID
+	edgeTo       []OID
+	edgePropOff  []int32
+	edgePropKeys []symtab.Sym
+	edgePropVals []value.Value
+
+	// CSR adjacency: outAdj groups the edge facade pointers by source node
+	// row (ascending edge OID within a row), indexed by outOff; inAdj/inOff
+	// group by target.
+	outOff []int32
+	outAdj []*Edge
+	inOff  []int32
+	inAdj  []*Edge
+
+	// Facade: pointer structs over the columns, so readers written against
+	// Graph's method set work unchanged. Label string slices share one
+	// backing array; property maps are materialized per construct.
+	nodes   []*Node
+	edges   []*Edge
+	nodeRow map[OID]int32
+	edgeRow map[OID]int32
+
+	byLabel        map[symtab.Sym][]*Node
+	byEdgeLabel    map[symtab.Sym][]*Edge
+	nodeLabelNames []string // sorted
+	edgeLabelNames []string // sorted
+}
+
+// Freeze snapshots the graph into its immutable frozen form. The snapshot
+// is deep: later mutations of g are invisible to it, and it holds no
+// references into g's maps. Cost is O(nodes + edges + properties); the
+// intended use is freezing once after the build phase and sharing the
+// snapshot across readers, per the staging discipline of Section 6.
+//
+// Symbol assignment is deterministic: labels and property keys are interned
+// in sorted order, so two graphs with equal content freeze to snapshots
+// with identical symbol tables.
+func (g *Graph) Freeze() *Frozen {
+	f := &Frozen{
+		syms:    symtab.New(),
+		nodeRow: make(map[OID]int32, len(g.nodes)),
+		edgeRow: make(map[OID]int32, len(g.edges)),
+	}
+
+	// Intern every name in sorted order: node labels, edge labels, then
+	// property keys. Sorted interning makes Sym order match lexicographic
+	// order within each group, which the property columns rely on.
+	f.nodeLabelNames = g.NodeLabels()
+	f.edgeLabelNames = g.EdgeLabels()
+	for _, l := range f.nodeLabelNames {
+		f.syms.Intern(l)
+	}
+	for _, l := range f.edgeLabelNames {
+		f.syms.Intern(l)
+	}
+	propKeys := map[string]bool{}
+	for _, n := range g.nodes {
+		for k := range n.Props {
+			propKeys[k] = true
+		}
+	}
+	for _, e := range g.edges {
+		for k := range e.Props {
+			propKeys[k] = true
+		}
+	}
+	sortedKeys := make([]string, 0, len(propKeys))
+	for k := range propKeys {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	for _, k := range sortedKeys {
+		f.syms.Intern(k)
+	}
+
+	f.freezeNodes(g)
+	f.freezeEdges(g)
+	f.buildLabelIndexes()
+	f.buildAdjacency()
+	return f
+}
+
+func (f *Frozen) freezeNodes(g *Graph) {
+	srcNodes := g.Nodes() // ascending OID
+	f.nodeOIDs = make([]OID, len(srcNodes))
+	f.nodeLabelOff = make([]int32, len(srcNodes)+1)
+	f.nodePropOff = make([]int32, len(srcNodes)+1)
+	f.nodes = make([]*Node, len(srcNodes))
+
+	// One backing array for all label strings, shared by the facade's
+	// Labels slices.
+	labelStrings := make([]string, 0, len(srcNodes))
+	for i, n := range srcNodes {
+		f.nodeOIDs[i] = n.ID
+		f.nodeRow[n.ID] = int32(i)
+		for _, l := range n.Labels { // already sorted unique
+			f.nodeLabels = append(f.nodeLabels, f.sym(l))
+			labelStrings = append(labelStrings, l)
+		}
+		f.nodeLabelOff[i+1] = int32(len(f.nodeLabels))
+		f.appendProps(n.Props, &f.nodePropKeys, &f.nodePropVals)
+		f.nodePropOff[i+1] = int32(len(f.nodePropKeys))
+	}
+	for i, n := range srcNodes {
+		props := make(Props, int(f.nodePropOff[i+1]-f.nodePropOff[i]))
+		for p := f.nodePropOff[i]; p < f.nodePropOff[i+1]; p++ {
+			props[f.syms.Name(f.nodePropKeys[p])] = f.nodePropVals[p]
+		}
+		var ls []string // nil when unlabeled, matching the mutable store
+		if f.nodeLabelOff[i+1] > f.nodeLabelOff[i] {
+			ls = labelStrings[f.nodeLabelOff[i]:f.nodeLabelOff[i+1]:f.nodeLabelOff[i+1]]
+		}
+		f.nodes[i] = &Node{ID: n.ID, Labels: ls, Props: props}
+	}
+}
+
+func (f *Frozen) freezeEdges(g *Graph) {
+	srcEdges := g.Edges() // ascending OID
+	f.edgeOIDs = make([]OID, len(srcEdges))
+	f.edgeLabel = make([]symtab.Sym, len(srcEdges))
+	f.edgeFrom = make([]OID, len(srcEdges))
+	f.edgeTo = make([]OID, len(srcEdges))
+	f.edgePropOff = make([]int32, len(srcEdges)+1)
+	f.edges = make([]*Edge, len(srcEdges))
+	for i, e := range srcEdges {
+		f.edgeOIDs[i] = e.ID
+		f.edgeRow[e.ID] = int32(i)
+		f.edgeLabel[i] = f.sym(e.Label)
+		f.edgeFrom[i] = e.From
+		f.edgeTo[i] = e.To
+		f.appendProps(e.Props, &f.edgePropKeys, &f.edgePropVals)
+		f.edgePropOff[i+1] = int32(len(f.edgePropKeys))
+	}
+	for i, e := range srcEdges {
+		var props Props // nil when empty, matching the mutable store
+		if n := int(f.edgePropOff[i+1] - f.edgePropOff[i]); n > 0 {
+			props = make(Props, n)
+			for p := f.edgePropOff[i]; p < f.edgePropOff[i+1]; p++ {
+				props[f.syms.Name(f.edgePropKeys[p])] = f.edgePropVals[p]
+			}
+		}
+		f.edges[i] = &Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: props}
+	}
+}
+
+// sym interns a label that may be absent from the pre-pass (the empty edge
+// label of unlabeled edges reaches here).
+func (f *Frozen) sym(name string) symtab.Sym {
+	return f.syms.Intern(name)
+}
+
+// appendProps appends one construct's properties to the shared key/value
+// columns, sorted by key symbol. Within the property-key group symbols were
+// assigned in lexicographic order, so symbol order is name order.
+func (f *Frozen) appendProps(p Props, keys *[]symtab.Sym, vals *[]value.Value) {
+	start := len(*keys)
+	for k, v := range p {
+		*keys = append(*keys, f.sym(k))
+		*vals = append(*vals, v)
+	}
+	row := (*keys)[start:]
+	rowVals := (*vals)[start:]
+	sort.Sort(&propSorter{keys: row, vals: rowVals})
+}
+
+type propSorter struct {
+	keys []symtab.Sym
+	vals []value.Value
+}
+
+func (s *propSorter) Len() int           { return len(s.keys) }
+func (s *propSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *propSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+func (f *Frozen) buildLabelIndexes() {
+	f.byLabel = make(map[symtab.Sym][]*Node)
+	for i, n := range f.nodes {
+		for _, sym := range f.nodeLabels[f.nodeLabelOff[i]:f.nodeLabelOff[i+1]] {
+			f.byLabel[sym] = append(f.byLabel[sym], n)
+		}
+	}
+	f.byEdgeLabel = make(map[symtab.Sym][]*Edge)
+	for i, e := range f.edges {
+		f.byEdgeLabel[f.edgeLabel[i]] = append(f.byEdgeLabel[f.edgeLabel[i]], e)
+	}
+}
+
+// buildAdjacency packs the incident-edge lists CSR-style: one counting
+// pass, a prefix sum, and a fill pass in ascending edge-OID order, so each
+// node's window is sorted by edge OID like Graph.Out/In.
+func (f *Frozen) buildAdjacency() {
+	n := len(f.nodes)
+	f.outOff = make([]int32, n+1)
+	f.inOff = make([]int32, n+1)
+	for i := range f.edges {
+		f.outOff[f.nodeRow[f.edgeFrom[i]]+1]++
+		f.inOff[f.nodeRow[f.edgeTo[i]]+1]++
+	}
+	for i := 0; i < n; i++ {
+		f.outOff[i+1] += f.outOff[i]
+		f.inOff[i+1] += f.inOff[i]
+	}
+	f.outAdj = make([]*Edge, len(f.edges))
+	f.inAdj = make([]*Edge, len(f.edges))
+	outNext := make([]int32, n)
+	inNext := make([]int32, n)
+	copy(outNext, f.outOff[:n])
+	copy(inNext, f.inOff[:n])
+	for i, e := range f.edges {
+		fr := f.nodeRow[f.edgeFrom[i]]
+		f.outAdj[outNext[fr]] = e
+		outNext[fr]++
+		to := f.nodeRow[f.edgeTo[i]]
+		f.inAdj[inNext[to]] = e
+		inNext[to]++
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (f *Frozen) NumNodes() int { return len(f.nodes) }
+
+// NumEdges returns the number of edges.
+func (f *Frozen) NumEdges() int { return len(f.edges) }
+
+// Node returns the node with the given OID, or nil.
+func (f *Frozen) Node(id OID) *Node {
+	if row, ok := f.nodeRow[id]; ok {
+		return f.nodes[row]
+	}
+	return nil
+}
+
+// Edge returns the edge with the given OID, or nil.
+func (f *Frozen) Edge(id OID) *Edge {
+	if row, ok := f.edgeRow[id]; ok {
+		return f.edges[row]
+	}
+	return nil
+}
+
+// Nodes returns all nodes in ascending OID order. The slice is shared.
+func (f *Frozen) Nodes() []*Node { return f.nodes }
+
+// Edges returns all edges in ascending OID order. The slice is shared.
+func (f *Frozen) Edges() []*Edge { return f.edges }
+
+// NodesByLabel returns the nodes carrying the label, in OID order. The
+// slice is shared and returned without copying.
+func (f *Frozen) NodesByLabel(label string) []*Node {
+	if sym, ok := f.syms.Lookup(label); ok {
+		return f.byLabel[sym]
+	}
+	return nil
+}
+
+// EdgesByLabel returns the edges carrying the label, in OID order. The
+// slice is shared and returned without copying.
+func (f *Frozen) EdgesByLabel(label string) []*Edge {
+	if sym, ok := f.syms.Lookup(label); ok {
+		return f.byEdgeLabel[sym]
+	}
+	return nil
+}
+
+// Out returns the outgoing edges of a node in edge-OID order: a shared
+// window of the CSR adjacency array, with no per-call allocation.
+func (f *Frozen) Out(id OID) []*Edge {
+	if row, ok := f.nodeRow[id]; ok {
+		return f.outAdj[f.outOff[row]:f.outOff[row+1]:f.outOff[row+1]]
+	}
+	return nil
+}
+
+// In returns the incoming edges of a node in edge-OID order, as a shared
+// CSR window.
+func (f *Frozen) In(id OID) []*Edge {
+	if row, ok := f.nodeRow[id]; ok {
+		return f.inAdj[f.inOff[row]:f.inOff[row+1]:f.inOff[row+1]]
+	}
+	return nil
+}
+
+// OutDegree returns the number of outgoing edges of a node.
+func (f *Frozen) OutDegree(id OID) int {
+	if row, ok := f.nodeRow[id]; ok {
+		return int(f.outOff[row+1] - f.outOff[row])
+	}
+	return 0
+}
+
+// InDegree returns the number of incoming edges of a node.
+func (f *Frozen) InDegree(id OID) int {
+	if row, ok := f.nodeRow[id]; ok {
+		return int(f.inOff[row+1] - f.inOff[row])
+	}
+	return 0
+}
+
+// NodeLabels returns every node label present, sorted. The slice is shared.
+func (f *Frozen) NodeLabels() []string { return f.nodeLabelNames }
+
+// EdgeLabels returns every edge label present, sorted. The slice is shared.
+func (f *Frozen) EdgeLabels() []string { return f.edgeLabelNames }
+
+// Symbols exposes the snapshot's interned name table: labels first (node
+// then edge, each sorted), then property keys (sorted). The table must not
+// be mutated.
+func (f *Frozen) Symbols() *symtab.Table { return f.syms }
+
+// NodeProp reads one node property from the columnar storage without
+// touching the facade map: a binary search over the node's key-symbol
+// window. It reports false for an absent node or key.
+func (f *Frozen) NodeProp(id OID, key string) (value.Value, bool) {
+	row, ok := f.nodeRow[id]
+	if !ok {
+		return value.Value{}, false
+	}
+	return f.propAt(f.nodePropKeys, f.nodePropVals, f.nodePropOff, row, key)
+}
+
+// EdgeProp reads one edge property from the columnar storage.
+func (f *Frozen) EdgeProp(id OID, key string) (value.Value, bool) {
+	row, ok := f.edgeRow[id]
+	if !ok {
+		return value.Value{}, false
+	}
+	return f.propAt(f.edgePropKeys, f.edgePropVals, f.edgePropOff, row, key)
+}
+
+func (f *Frozen) propAt(keys []symtab.Sym, vals []value.Value, off []int32, row int32, key string) (value.Value, bool) {
+	sym, ok := f.syms.Lookup(key)
+	if !ok {
+		return value.Value{}, false
+	}
+	lo, hi := int(off[row]), int(off[row+1])
+	window := keys[lo:hi]
+	i := sort.Search(len(window), func(i int) bool { return window[i] >= sym })
+	if i < len(window) && window[i] == sym {
+		return vals[lo+i], true
+	}
+	return value.Value{}, false
+}
+
+// Thaw rebuilds a mutable Graph from the snapshot, preserving every OID.
+// Freeze and Thaw are exact inverses up to representation: Thaw(Freeze(g))
+// has the same nodes, edges, labels and properties as g (the OID allocator
+// resumes past the highest OID present).
+func (f *Frozen) Thaw() *Graph {
+	g := New()
+	for _, n := range f.nodes {
+		if _, err := g.AddNodeWithID(n.ID, n.Labels, n.Props); err != nil {
+			panic(err) // cannot happen: snapshot OIDs are unique
+		}
+	}
+	for _, e := range f.edges {
+		if _, err := g.AddEdgeWithID(e.ID, e.From, e.To, e.Label, e.Props); err != nil {
+			panic(err) // cannot happen: endpoints were all added above
+		}
+	}
+	return g
+}

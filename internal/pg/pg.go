@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/sortedset"
 	"repro/internal/value"
 )
 
@@ -150,7 +151,7 @@ func (g *Graph) AddNode(labels []string, props Props) *Node {
 	g.next++
 	g.nodes[n.ID] = n
 	for _, l := range n.Labels {
-		g.byLabel[l] = insertSorted(g.byLabel[l], n.ID)
+		g.byLabel[l] = sortedset.Insert(g.byLabel[l], n.ID)
 	}
 	return n
 }
@@ -171,7 +172,7 @@ func (g *Graph) AddNodeWithID(id OID, labels []string, props Props) (*Node, erro
 		g.next = id + 1
 	}
 	for _, l := range n.Labels {
-		g.byLabel[l] = insertSorted(g.byLabel[l], n.ID)
+		g.byLabel[l] = sortedset.Insert(g.byLabel[l], n.ID)
 	}
 	return n, nil
 }
@@ -188,7 +189,7 @@ func (g *Graph) AddLabel(id OID, label string) error {
 	}
 	g.record(undoOp{kind: undoAddLabel, id: id, label: label})
 	n.Labels = normalizeLabels(append(n.Labels, label))
-	g.byLabel[label] = insertSorted(g.byLabel[label], id)
+	g.byLabel[label] = sortedset.Insert(g.byLabel[label], id)
 	return nil
 }
 
@@ -225,9 +226,9 @@ func (g *Graph) AddEdge(from, to OID, label string, props Props) (*Edge, error) 
 	g.record(undoOp{kind: undoAddEdge, id: e.ID, prevNext: g.next})
 	g.next++
 	g.edges[e.ID] = e
-	g.byEdgeLabel[label] = insertSorted(g.byEdgeLabel[label], e.ID)
-	g.out[from] = insertSorted(g.out[from], e.ID)
-	g.in[to] = insertSorted(g.in[to], e.ID)
+	g.byEdgeLabel[label] = sortedset.Insert(g.byEdgeLabel[label], e.ID)
+	g.out[from] = sortedset.Insert(g.out[from], e.ID)
+	g.in[to] = sortedset.Insert(g.in[to], e.ID)
 	return e, nil
 }
 
@@ -261,9 +262,9 @@ func (g *Graph) AddEdgeWithID(id, from, to OID, label string, props Props) (*Edg
 	if id >= g.next {
 		g.next = id + 1
 	}
-	g.byEdgeLabel[label] = insertSorted(g.byEdgeLabel[label], e.ID)
-	g.out[from] = insertSorted(g.out[from], e.ID)
-	g.in[to] = insertSorted(g.in[to], e.ID)
+	g.byEdgeLabel[label] = sortedset.Insert(g.byEdgeLabel[label], e.ID)
+	g.out[from] = sortedset.Insert(g.out[from], e.ID)
+	g.in[to] = sortedset.Insert(g.in[to], e.ID)
 	return e, nil
 }
 
@@ -279,7 +280,7 @@ func (g *Graph) Nodes() []*Node {
 	for id := range g.nodes {
 		ids = append(ids, id)
 	}
-	sortOIDs(ids)
+	sortedset.Sort(ids)
 	out := make([]*Node, len(ids))
 	for i, id := range ids {
 		out[i] = g.nodes[id]
@@ -293,7 +294,7 @@ func (g *Graph) Edges() []*Edge {
 	for id := range g.edges {
 		ids = append(ids, id)
 	}
-	sortOIDs(ids)
+	sortedset.Sort(ids)
 	out := make([]*Edge, len(ids))
 	for i, id := range ids {
 		out[i] = g.edges[id]
@@ -379,9 +380,9 @@ func (g *Graph) RemoveEdge(id OID) error {
 	}
 	g.record(undoOp{kind: undoRemoveEdge, edge: e})
 	delete(g.edges, id)
-	g.byEdgeLabel[e.Label] = removeSorted(g.byEdgeLabel[e.Label], id)
-	g.out[e.From] = removeSorted(g.out[e.From], id)
-	g.in[e.To] = removeSorted(g.in[e.To], id)
+	g.byEdgeLabel[e.Label] = sortedset.Remove(g.byEdgeLabel[e.Label], id)
+	g.out[e.From] = sortedset.Remove(g.out[e.From], id)
+	g.in[e.To] = sortedset.Remove(g.in[e.To], id)
 	return nil
 }
 
@@ -401,7 +402,7 @@ func (g *Graph) RemoveNode(id OID) error {
 	g.record(undoOp{kind: undoRemoveNode, node: n})
 	delete(g.nodes, id)
 	for _, l := range n.Labels {
-		g.byLabel[l] = removeSorted(g.byLabel[l], id)
+		g.byLabel[l] = sortedset.Remove(g.byLabel[l], id)
 	}
 	delete(g.out, id)
 	delete(g.in, id)
@@ -425,27 +426,4 @@ func (g *Graph) Clone() *Graph {
 		}
 	}
 	return out
-}
-
-func insertSorted(s []OID, id OID) []OID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
-	if i < len(s) && s[i] == id {
-		return s
-	}
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = id
-	return s
-}
-
-func removeSorted(s []OID, id OID) []OID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
-	if i < len(s) && s[i] == id {
-		return append(s[:i], s[i+1:]...)
-	}
-	return s
-}
-
-func sortOIDs(s []OID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

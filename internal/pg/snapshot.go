@@ -1,5 +1,7 @@
 package pg
 
+import "repro/internal/sortedset"
+
 // Snapshots give the graph store transactional rollback: Begin opens a
 // savepoint, every subsequent mutation appends a compensating entry to the
 // graph's undo journal, and Rollback replays the entries in reverse to
@@ -35,7 +37,7 @@ const (
 type undoOp struct {
 	kind     undoKind
 	id       OID
-	prevNext OID   // undoAddNode/undoAddEdge: allocator position before the add
+	prevNext OID // undoAddNode/undoAddEdge: allocator position before the add
 	label    string
 	key      string
 	old      Props // undoSetProp: single-entry map with the prior value; nil if absent
@@ -111,7 +113,7 @@ func (g *Graph) undo(op undoOp) {
 		n := g.nodes[op.id]
 		delete(g.nodes, op.id)
 		for _, l := range n.Labels {
-			g.byLabel[l] = removeSorted(g.byLabel[l], op.id)
+			g.byLabel[l] = sortedset.Remove(g.byLabel[l], op.id)
 		}
 		delete(g.out, op.id)
 		delete(g.in, op.id)
@@ -119,9 +121,9 @@ func (g *Graph) undo(op undoOp) {
 	case undoAddEdge:
 		e := g.edges[op.id]
 		delete(g.edges, op.id)
-		g.byEdgeLabel[e.Label] = removeSorted(g.byEdgeLabel[e.Label], op.id)
-		g.out[e.From] = removeSorted(g.out[e.From], op.id)
-		g.in[e.To] = removeSorted(g.in[e.To], op.id)
+		g.byEdgeLabel[e.Label] = sortedset.Remove(g.byEdgeLabel[e.Label], op.id)
+		g.out[e.From] = sortedset.Remove(g.out[e.From], op.id)
+		g.in[e.To] = sortedset.Remove(g.in[e.To], op.id)
 		g.next = op.prevNext
 	case undoAddLabel:
 		n := g.nodes[op.id]
@@ -131,7 +133,7 @@ func (g *Graph) undo(op undoOp) {
 				break
 			}
 		}
-		g.byLabel[op.label] = removeSorted(g.byLabel[op.label], op.id)
+		g.byLabel[op.label] = sortedset.Remove(g.byLabel[op.label], op.id)
 	case undoSetProp:
 		n := g.nodes[op.id]
 		if op.old == nil {
@@ -143,13 +145,13 @@ func (g *Graph) undo(op undoOp) {
 		n := op.node
 		g.nodes[n.ID] = n
 		for _, l := range n.Labels {
-			g.byLabel[l] = insertSorted(g.byLabel[l], n.ID)
+			g.byLabel[l] = sortedset.Insert(g.byLabel[l], n.ID)
 		}
 	case undoRemoveEdge:
 		e := op.edge
 		g.edges[e.ID] = e
-		g.byEdgeLabel[e.Label] = insertSorted(g.byEdgeLabel[e.Label], e.ID)
-		g.out[e.From] = insertSorted(g.out[e.From], e.ID)
-		g.in[e.To] = insertSorted(g.in[e.To], e.ID)
+		g.byEdgeLabel[e.Label] = sortedset.Insert(g.byEdgeLabel[e.Label], e.ID)
+		g.out[e.From] = sortedset.Insert(g.out[e.From], e.ID)
+		g.in[e.To] = sortedset.Insert(g.in[e.To], e.ID)
 	}
 }

@@ -1,0 +1,59 @@
+package pg
+
+// View is the read interface shared by the two phases of a graph
+// dictionary's lifecycle:
+//
+//   - the builder phase, where a mutable *Graph accumulates the dictionary
+//     (loaders, SSST translation, Algorithm 2's flush), and
+//   - the frozen phase, where an immutable *Frozen snapshot serves
+//     concurrent readers (statistics, MetaLog fact extraction, schema
+//     readers, validation, emission) without cloning.
+//
+// Everything that only reads a dictionary takes a View, so callers choose
+// the representation: pass the *Graph while still building, or Freeze()
+// once writes are done and share the snapshot. The paper's staging
+// discussion (Section 6) batches all writes before reasoning, which is
+// exactly the builder→frozen handoff.
+//
+// Contract: all iteration orders are ascending OID (slices) or sorted
+// (label lists), identical across implementations — reasoning over a frozen
+// snapshot is bit-identical to reasoning over the graph it snapshots.
+// Returned slices and structs may be shared with the implementation and
+// must be treated as read-only; *Graph returns fresh slices but *Frozen
+// returns its internal ones.
+type View interface {
+	// NumNodes and NumEdges return the sizes of N and E.
+	NumNodes() int
+	NumEdges() int
+
+	// Node and Edge resolve an OID, returning nil when absent.
+	Node(id OID) *Node
+	Edge(id OID) *Edge
+
+	// Nodes and Edges list every construct in ascending OID order.
+	Nodes() []*Node
+	Edges() []*Edge
+
+	// NodesByLabel and EdgesByLabel list the constructs carrying a label,
+	// in ascending OID order.
+	NodesByLabel(label string) []*Node
+	EdgesByLabel(label string) []*Edge
+
+	// Out and In list a node's incident edges in ascending edge-OID order.
+	Out(id OID) []*Edge
+	In(id OID) []*Edge
+
+	// OutDegree and InDegree count a node's incident edges.
+	OutDegree(id OID) int
+	InDegree(id OID) int
+
+	// NodeLabels and EdgeLabels list the labels present, sorted.
+	NodeLabels() []string
+	EdgeLabels() []string
+}
+
+// Both lifecycle phases implement the shared read interface.
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Frozen)(nil)
+)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/pg"
+	"repro/internal/sortedset"
 	"repro/internal/value"
 )
 
@@ -140,7 +141,7 @@ func hasSchemaOID(n *pg.Node, oid int64) bool {
 }
 
 // FromDictionary reconstructs a super-schema from a graph dictionary.
-func FromDictionary(g *pg.Graph, schemaOID int64, name string) (*Schema, error) {
+func FromDictionary(g pg.View, schemaOID int64, name string) (*Schema, error) {
 	s := NewSchema(name, schemaOID)
 
 	typeName := func(owner pg.OID, typeEdgeLabel string) (string, error) {
@@ -301,7 +302,7 @@ type SchemaInfo struct {
 // ListSchemas inventories the schemas a dictionary holds, sorted by OID —
 // the paper's dictionaries store many schemas side by side, selected by
 // schemaOID (Example 5.1).
-func ListSchemas(g *pg.Graph) []SchemaInfo {
+func ListSchemas(g pg.View) []SchemaInfo {
 	byOID := map[int64]*SchemaInfo{}
 	get := func(n *pg.Node) *SchemaInfo {
 		so, ok := n.Props["schemaOID"]
@@ -334,7 +335,7 @@ func ListSchemas(g *pg.Graph) []SchemaInfo {
 	for oid := range byOID {
 		oids = append(oids, oid)
 	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	sortedset.Sort(oids)
 	out := make([]SchemaInfo, 0, len(oids))
 	for _, oid := range oids {
 		out = append(out, *byOID[oid])

@@ -1,0 +1,75 @@
+// Package symtab implements a deterministic string interner for the names
+// that recur throughout a knowledge graph: node and edge labels, property
+// keys, and predicate names. The paper's graph dictionaries (§2.2) carry
+// the same few dozen construct names across millions of instances, so the
+// storage layer maps each distinct string to a small dense Sym once and
+// stores the Sym everywhere else.
+//
+// Determinism contract: a Table assigns Syms in first-Intern order, so two
+// tables fed the same strings in the same order are identical. The frozen
+// snapshot builder (pg.Freeze) feeds names in sorted order, making the
+// symbol assignment a pure function of the graph's content.
+//
+// A Table is not safe for concurrent mutation. A table that will no longer
+// be mutated (the frozen phase) is safe for concurrent readers.
+package symtab
+
+// Sym is an interned symbol: a dense index into its Table. The zero Sym is
+// never assigned to a string — it is reserved as "no symbol" so Sym fields
+// have a usable zero value.
+type Sym uint32
+
+// None is the zero Sym, assigned to no string.
+const None Sym = 0
+
+// Table maps strings to dense symbols and back.
+//
+// The zero value is not usable; construct tables with New.
+type Table struct {
+	byName map[string]Sym
+	names  []string // names[sym] = string; names[0] is the unused None slot
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{
+		byName: make(map[string]Sym),
+		names:  make([]string, 1), // reserve Sym 0 = None
+	}
+}
+
+// Intern returns the symbol for s, assigning the next free Sym on first
+// use. Interning the same string always returns the same symbol.
+func (t *Table) Intern(s string) Sym {
+	if sym, ok := t.byName[s]; ok {
+		return sym
+	}
+	sym := Sym(len(t.names))
+	t.names = append(t.names, s)
+	t.byName[s] = sym
+	return sym
+}
+
+// Lookup returns the symbol for s if it has been interned. It never
+// mutates the table, so it is safe to call concurrently on a frozen table.
+func (t *Table) Lookup(s string) (Sym, bool) {
+	sym, ok := t.byName[s]
+	return sym, ok
+}
+
+// Name returns the string a symbol was assigned to. It panics on None or
+// an out-of-range symbol: those indicate a symbol from a different table,
+// which is a programming error.
+func (t *Table) Name(sym Sym) string {
+	if sym == None || int(sym) >= len(t.names) {
+		panic("symtab: symbol not in table")
+	}
+	return t.names[sym]
+}
+
+// Len returns the number of interned strings.
+func (t *Table) Len() int { return len(t.names) - 1 }
+
+// Names returns the interned strings in symbol order (ascending Sym). The
+// returned slice is shared with the table and must not be modified.
+func (t *Table) Names() []string { return t.names[1:] }

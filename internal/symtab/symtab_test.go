@@ -1,0 +1,106 @@
+package symtab
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"testing"
+)
+
+func TestInternDeterministic(t *testing.T) {
+	words := []string{"Company", "Person", "Owns", "Company", "name", "Owns"}
+	a, b := New(), New()
+	for _, w := range words {
+		sa, sb := a.Intern(w), b.Intern(w)
+		if sa != sb {
+			t.Fatalf("Intern(%q): %d vs %d across identical tables", w, sa, sb)
+		}
+		if sa == None {
+			t.Fatalf("Intern(%q) returned None", w)
+		}
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	if want := []string{"Company", "Person", "Owns", "name"}; !slices.Equal(a.Names(), want) {
+		t.Fatalf("Names = %v, want %v", a.Names(), want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tab := New()
+	syms := map[string]Sym{}
+	for _, w := range []string{"", "a", "b", "a b", "ä"} {
+		syms[w] = tab.Intern(w)
+	}
+	for w, s := range syms {
+		if got := tab.Name(s); got != w {
+			t.Fatalf("Name(Intern(%q)) = %q", w, got)
+		}
+		if got, ok := tab.Lookup(w); !ok || got != s {
+			t.Fatalf("Lookup(%q) = %d,%v want %d,true", w, got, ok, s)
+		}
+	}
+	if _, ok := tab.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) = true")
+	}
+}
+
+// TestConcurrentFrozenReaders exercises the package contract that a table no
+// longer being mutated is safe for concurrent readers. Run under -race (make
+// test-race) this proves Lookup / Name / Names perform no hidden mutation.
+func TestConcurrentFrozenReaders(t *testing.T) {
+	tab := New()
+	words := make([]string, 64)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+		tab.Intern(words[i])
+	}
+	// The mutable phase ends here; from now on the table is only read.
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				for i, word := range words {
+					sym, ok := tab.Lookup(word)
+					if !ok || tab.Name(sym) != word {
+						errs <- fmt.Errorf("reader %d: lookup of %q failed", w, word)
+						return
+					}
+					if tab.Names()[i] != word {
+						errs <- fmt.Errorf("reader %d: Names()[%d] != %q", w, i, word)
+						return
+					}
+				}
+				if _, ok := tab.Lookup("absent"); ok {
+					errs <- fmt.Errorf("reader %d: phantom symbol", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestNamePanicsOnForeignSym(t *testing.T) {
+	tab := New()
+	tab.Intern("x")
+	for _, sym := range []Sym{None, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Name(%d) did not panic", sym)
+				}
+			}()
+			tab.Name(sym)
+		}()
+	}
+}

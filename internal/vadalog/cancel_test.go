@@ -275,4 +275,3 @@ func TestStatsOnError(t *testing.T) {
 		t.Errorf("FactsDerived = 0 on a run that exceeded a limit of 100")
 	}
 }
-

@@ -2,6 +2,8 @@ package vadalog
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -20,6 +22,10 @@ func (f Fact) String() string {
 	return "(" + strings.Join(parts, ",") + ")"
 }
 
+// encodeKey renders a tuple as one canonical string. The relation's dedup
+// and join indexes no longer use it (they work on interned symbols, below);
+// it remains the key format of the aggregate group keys and the provenance
+// store, where a printable, order-free key is worth the allocation.
 func encodeKey(vals []value.Value) string {
 	var buf [96]byte
 	b := buf[:0]
@@ -32,28 +38,126 @@ func encodeKey(vals []value.Value) string {
 	return string(b)
 }
 
+// canonicalNaNBits is the single bit pattern every NaN hashes under: all NaN
+// payloads print "NaN", so canonical equality merges them.
+const canonicalNaNBits = 0x7ff8000000000000
+
+// FNV-1a parameters for hashing tuples.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashValue folds one value into an FNV-1a state. The hash discriminates
+// exactly what canonical-string equality discriminates: the Kind tag keeps
+// Int 1, Float 1 and String "1" apart (as their canonical prefixes do),
+// every NaN collapses to one pattern while +0 and -0 stay distinct (they
+// print "0" and "-0"), and string payloads are folded byte-wise.
+func hashValue(h uint64, v value.Value) uint64 {
+	h ^= uint64(v.K)
+	h *= fnvPrime64
+	switch v.K {
+	case value.Int, value.Null:
+		h ^= uint64(v.I)
+		h *= fnvPrime64
+	case value.Float:
+		b := math.Float64bits(v.F)
+		if v.F != v.F {
+			b = canonicalNaNBits
+		}
+		h ^= b
+		h *= fnvPrime64
+	case value.Bool:
+		if v.B {
+			h ^= 1
+		}
+		h *= fnvPrime64
+	default: // String, ID, Invalid carry their payload in S.
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// hashTuple hashes a full tuple.
+func hashTuple(vals []value.Value) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		h = hashValue(h, v)
+	}
+	return h
+}
+
+// canonicalEqual mirrors canonical-string equality (value.Canonical) without
+// materializing the strings. It is deliberately NOT value.Equal: Compare
+// merges Int 1 with Float 1.0 numerically, while the canonical forms — and
+// therefore the dedup and index keys — keep the kinds apart.
+func canonicalEqual(a, b value.Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case value.Int, value.Null:
+		return a.I == b.I
+	case value.Float:
+		if a.F != a.F {
+			return b.F != b.F // every NaN prints "NaN"
+		}
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case value.Bool:
+		return a.B == b.B
+	default:
+		return a.S == b.S
+	}
+}
+
+// tupleEqual reports canonical equality of two same-arity tuples.
+func tupleEqual(a, b []value.Value) bool {
+	for i := range a {
+		if !canonicalEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Relation is an append-only set of facts of a fixed arity with hash indexes.
 //
 // Facts keep their insertion order, which lets the semi-naive engine address
 // "old" and "delta" windows of the same relation by position ranges instead
 // of copying snapshots.
+//
+// Deduplication and the join indexes key on tuple hashes over the values'
+// canonical identity instead of concatenated canonical strings: an insert
+// and an index probe allocate no key material, and hash collisions are
+// resolved by comparing tuples under canonicalEqual — never by re-encoding.
 type Relation struct {
 	Arity int
 	facts []Fact
-	dedup map[string]int // full-tuple key -> position
+
+	// dedup maps a full-tuple hash to the first fact position with that
+	// hash; dedupMore holds the rare further positions whose distinct tuples
+	// share a hash. Splitting the two keeps the common case at one map word
+	// per fact with no slice allocation.
+	dedup     map[uint64]int32
+	dedupMore map[uint64][]int32
 
 	// indexes maps a bitmask of bound positions to an index from the
-	// projected key to ascending fact positions. Once built for a mask, an
-	// index is maintained incrementally by Insert.
-	indexes map[uint64]map[string][]int
+	// projected-tuple hash to ascending fact positions. Once built for a
+	// mask, an index is maintained incrementally by Insert. Probes verify
+	// the candidate facts value-by-value, so a hash collision costs a
+	// filtered copy, never a wrong answer.
+	indexes map[uint64]map[uint64][]int
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
 	return &Relation{
 		Arity:   arity,
-		dedup:   make(map[string]int),
-		indexes: make(map[uint64]map[string][]int),
+		dedup:   make(map[uint64]int32),
+		indexes: make(map[uint64]map[uint64][]int),
 	}
 }
 
@@ -63,10 +167,31 @@ func (r *Relation) Len() int { return len(r.facts) }
 // At returns the fact at the given position.
 func (r *Relation) At(pos int) Fact { return r.facts[pos] }
 
-// Contains reports whether the tuple is already in the relation.
+// dedupFind scans the positions hashed to h for one whose tuple equals f.
+func (r *Relation) dedupFind(h uint64, f Fact) (int, bool) {
+	pos, ok := r.dedup[h]
+	if !ok {
+		return 0, false
+	}
+	if tupleEqual(r.facts[pos], f) {
+		return int(pos), true
+	}
+	for _, p := range r.dedupMore[h] {
+		if tupleEqual(r.facts[p], f) {
+			return int(p), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether the tuple is already in the relation. It never
+// mutates the relation, so it is safe alongside concurrent reads.
 func (r *Relation) Contains(f Fact) bool {
-	_, ok := r.dedup[encodeKey(f)]
-	return ok
+	if len(f) != r.Arity {
+		return false
+	}
+	_, found := r.dedupFind(hashTuple(f), f)
+	return found
 }
 
 // Insert adds a fact, reporting whether it was new. It is an error to insert
@@ -75,66 +200,87 @@ func (r *Relation) Insert(f Fact) (bool, error) {
 	if len(f) != r.Arity {
 		return false, fmt.Errorf("vadalog: arity mismatch: relation has arity %d, fact has %d", r.Arity, len(f))
 	}
-	key := encodeKey(f)
-	if _, ok := r.dedup[key]; ok {
+	h := hashTuple(f)
+	if _, dup := r.dedupFind(h, f); dup {
 		return false, nil
 	}
 	pos := len(r.facts)
-	r.dedup[key] = pos
+	if _, taken := r.dedup[h]; taken {
+		if r.dedupMore == nil {
+			r.dedupMore = make(map[uint64][]int32)
+		}
+		r.dedupMore[h] = append(r.dedupMore[h], int32(pos))
+	} else {
+		r.dedup[h] = int32(pos)
+	}
 	r.facts = append(r.facts, f)
 	for mask, idx := range r.indexes {
-		pk := r.projectKey(f, mask)
-		idx[pk] = append(idx[pk], pos)
+		ph := projectHash(f, mask)
+		idx[ph] = append(idx[ph], pos)
 	}
 	return true, nil
 }
 
-func (r *Relation) projectKey(f Fact, mask uint64) string {
-	var buf [96]byte
-	b := buf[:0]
-	first := true
-	for i := 0; i < r.Arity; i++ {
+// projectHash hashes the values at the masked positions of a tuple.
+func projectHash(f Fact, mask uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i, v := range f {
 		if mask&(1<<uint(i)) == 0 {
 			continue
 		}
-		if !first {
-			b = append(b, 0)
-		}
-		first = false
-		b = f[i].AppendCanonical(b)
+		h = hashValue(h, v)
 	}
-	return string(b)
+	return h
 }
 
 // warmIndex builds (if absent) the index for the given mask. The engine
 // calls it for every mask a rule can consult before fanning that rule's
 // evaluation out to worker goroutines: index construction is the only lazy
 // mutation on the relation read path, so after warming, concurrent Lookup /
-// At / Len calls are race-free as long as no Insert runs alongside them —
-// which the parallel evaluator guarantees by buffering emissions until its
-// merge barrier.
+// Contains / At / Len calls are race-free as long as no Insert runs
+// alongside them — which the parallel evaluator guarantees by buffering
+// emissions until its merge barrier.
 func (r *Relation) warmIndex(mask uint64) {
 	if mask != 0 {
 		r.ensureIndex(mask)
 	}
 }
 
-func (r *Relation) ensureIndex(mask uint64) map[string][]int {
+func (r *Relation) ensureIndex(mask uint64) map[uint64][]int {
 	if idx, ok := r.indexes[mask]; ok {
 		return idx
 	}
-	idx := make(map[string][]int)
+	idx := make(map[uint64][]int)
 	for pos, f := range r.facts {
-		pk := r.projectKey(f, mask)
-		idx[pk] = append(idx[pk], pos)
+		ph := projectHash(f, mask)
+		idx[ph] = append(idx[ph], pos)
 	}
 	r.indexes[mask] = idx
 	return idx
 }
 
+// factMatches reports whether fact pos agrees with bound (the values of the
+// masked positions, in ascending position order).
+func (r *Relation) factMatches(pos int, mask uint64, bound []value.Value) bool {
+	f := r.facts[pos]
+	j := 0
+	for i, v := range f {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !canonicalEqual(v, bound[j]) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
 // Lookup returns the ascending positions of facts whose values at the masked
 // positions equal boundVals (given in ascending position order). A zero mask
-// matches every fact.
+// matches every fact. The common, collision-free probe returns the index
+// bucket itself with no allocation; when distinct projections share a hash
+// the bucket is filtered by value comparison.
 func (r *Relation) Lookup(mask uint64, boundVals []value.Value) []int {
 	if mask == 0 {
 		out := make([]int, len(r.facts))
@@ -144,7 +290,26 @@ func (r *Relation) Lookup(mask uint64, boundVals []value.Value) []int {
 		return out
 	}
 	idx := r.ensureIndex(mask)
-	return idx[encodeKey(boundVals)]
+	if bits.OnesCount64(mask&(1<<uint(r.Arity)-1)) != len(boundVals) {
+		return nil // malformed probe: bound values don't line up with the mask
+	}
+	h := uint64(fnvOffset64)
+	for _, v := range boundVals {
+		h = hashValue(h, v)
+	}
+	cand := idx[h]
+	for i, pos := range cand {
+		if !r.factMatches(pos, mask, boundVals) {
+			out := append([]int(nil), cand[:i]...)
+			for _, p := range cand[i+1:] {
+				if r.factMatches(p, mask, boundVals) {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+	}
+	return cand
 }
 
 // All returns all facts in insertion order. The returned slice must not be

@@ -50,6 +50,14 @@ type Options struct {
 	// *PartialError so callers can salvage the strata that completed. See
 	// FaultPolicy.
 	OnFault FaultPolicy
+	// OwnInput declares that the caller hands the input database over to
+	// the run and will not read or reuse it afterwards. Run/RunCtx then
+	// skip the defensive Clone of the input and saturate it directly,
+	// exactly like RunInPlace — the right call for load-once pipelines
+	// (CLIs, query evaluation) where the clone is pure overhead. Leave it
+	// false when the same database feeds several runs, as the comparative
+	// benchmarks do.
+	OwnInput bool
 	// Workers sets the number of goroutines used to evaluate each rule.
 	// Values <= 1 select the sequential engine. With Workers >= 2, the
 	// driver window of every shardable rule is partitioned into shards
@@ -130,7 +138,8 @@ type Result struct {
 func (r *Result) Output(pred string) []Fact { return r.DB.SortedFacts(pred) }
 
 // Run executes the program over the input database and returns the saturated
-// result. The input database is not modified.
+// result. The input database is not modified unless Options.OwnInput
+// transfers it to the run.
 func Run(prog *Program, input *Database, opts Options) (*Result, error) {
 	return RunCtx(context.Background(), prog, input, opts)
 }
@@ -139,8 +148,15 @@ func Run(prog *Program, input *Database, opts Options) (*Result, error) {
 // round or shard boundary once ctx is canceled (ErrCanceled) or its deadline
 // — or Options.Timeout — expires (ErrTimeout). On interruption the returned
 // Result is non-nil and carries the partial statistics and database.
+//
+// By default the input is cloned so the caller's database survives the run
+// untouched; Options.OwnInput skips that copy for callers that hand the
+// database over.
 func RunCtx(ctx context.Context, prog *Program, input *Database, opts Options) (*Result, error) {
-	return RunInPlaceCtx(ctx, prog, input.Clone(), opts)
+	if !opts.OwnInput {
+		input = input.Clone()
+	}
+	return RunInPlaceCtx(ctx, prog, input, opts)
 }
 
 // RunInPlace is Run but saturates the given database directly, avoiding the
