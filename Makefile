@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke check bench bench-storage
+.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ test-race: build
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestCancel|TestTimeout|TestCallerDeadline|TestGoldenTrace|TestTraceSequentialFallbacks' ./internal/vadalog/
 	$(GO) test -race -count=3 -run 'TestFrozenConcurrentReaders|TestFrozenQueryConcurrent|TestConcurrentFrozenReaders' ./internal/pg/ ./internal/metalog/ ./internal/symtab/
+	$(GO) test -race -count=2 -run 'TestServeSoak|TestConcurrentQueriesShareSnapshot' ./internal/server/
 	$(GO) test -race -run '^$$' -bench 'BenchmarkE11DescFrom|BenchmarkE1GraphStats' -benchtime 1x .
 
 # test-chaos sweeps every registered fault-injection site across error and
@@ -31,7 +32,7 @@ test-race: build
 # panic containment, and goroutine hygiene. -count=2 reruns the sweep so a
 # site left armed or a counter left dirty by the first pass fails the second.
 test-chaos: build
-	$(GO) test -count=2 -run 'TestChaos|TestStratum|TestShard|TestBestEffort|TestRetry|TestWriteSites|TestMaterializeFlushErrorRollsBack' ./internal/instance/ ./internal/vadalog/ ./internal/pg/ ./internal/fault/
+	$(GO) test -count=2 -run 'TestChaos|TestStratum|TestShard|TestBestEffort|TestRetry|TestWriteSites|TestMaterializeFlushErrorRollsBack' ./internal/instance/ ./internal/vadalog/ ./internal/pg/ ./internal/fault/ ./internal/server/
 
 # fuzz-smoke gives each parser fuzz target a short budget — enough to shake
 # out regressions in the corpus without turning CI into a fuzzing farm.
@@ -39,10 +40,23 @@ fuzz-smoke: build
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/metalog/
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/gsl/
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/vadalog/
+	$(GO) test -fuzz '^FuzzDecodeQuery$$' -fuzztime 10s -run '^$$' ./internal/server/
+
+# cover enforces the per-package coverage floor on the serving layer: the
+# newest subsystem carries the strictest gate (70% of statements) so its
+# suite cannot silently rot. The profile is written to a temp file and
+# removed; only the threshold check is CI-visible.
+cover: build
+	@$(GO) test -coverprofile=cover_server.out ./internal/server/
+	@total=$$($(GO) tool cover -func=cover_server.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover_server.out; \
+	echo "internal/server coverage: $$total% (floor 70%)"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
+	{ echo "FAIL: internal/server coverage $$total% is below the 70% floor"; exit 1; }
 
 # check is the tier-1 gate: vet + full suite, the race-detector pass, the
-# chaos sweep, and the fuzz smoke test.
-check: test test-race test-chaos fuzz-smoke
+# chaos sweep, the fuzz smoke test, and the coverage floor.
+check: test test-race test-chaos fuzz-smoke cover
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -57,3 +71,15 @@ bench-storage: build
 	$(GO) test -run '^$$' -bench 'BenchmarkStorage' -benchmem ./internal/pg/ ./internal/vadalog/ | tee BENCH_storage.txt
 	$(GO) run ./cmd/benchjson < BENCH_storage.txt > BENCH_storage.json
 	rm -f BENCH_storage.txt
+
+# bench-serve captures the E20 serving benchmarks (EXPERIMENTS.md) — /query
+# throughput over a real listener at 1/2/8 concurrent clients, the
+# latency-bound variant whose C8/C1 ratio is the concurrency acceptance
+# criterion, and the cache fast path — into BENCH_serve.json via
+# cmd/benchjson. Fixed iteration counts keep the wall-clock bounded; the
+# committed file is the baseline, regenerate on comparable hardware before
+# comparing numbers.
+bench-serve: build
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 200x -benchmem ./internal/server/ | tee BENCH_serve.txt
+	$(GO) run ./cmd/benchjson < BENCH_serve.txt > BENCH_serve.json
+	rm -f BENCH_serve.txt

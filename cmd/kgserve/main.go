@@ -1,0 +1,125 @@
+// Command kgserve serves a property-graph dictionary over HTTP: MetaLog
+// pattern queries, graph statistics, schema validation and hot snapshot
+// reloads, all against a shared frozen snapshot (see internal/server and
+// DESIGN.md §11).
+//
+// Usage:
+//
+//	kgserve -in kg.json -addr :8080
+//	kgserve -in kg.json -companykg -cache 1024 -inflight 16 -debug
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness, snapshot generation, graph size
+//	POST /query     {"query": "<MetaLog pattern>", "limit": 0}
+//	GET  /stats     §2.1 topological statistics of the snapshot
+//	POST /validate  {"strategy": "multi-label"} (needs -schema/-companykg)
+//	GET  /schema    catalog layout (+ GSL design when configured)
+//	POST /reload    {"path": "other.json"} — atomic snapshot swap
+//
+// With -debug, /debug/vars, /debug/pprof and /debug/latency are mounted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/gsl"
+	"repro/internal/server"
+	"repro/internal/supermodel"
+)
+
+func main() {
+	in := flag.String("in", "", "property graph JSON to serve")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	schemaFile := flag.String("schema", "", "GSL design file enabling /validate")
+	companyKG := flag.Bool("companykg", false, "use the built-in Company KG design for /validate")
+	strategy := flag.String("strategy", "multi-label", "PG translation strategy for /validate")
+	inflight := flag.Int("inflight", 8, "max concurrently executing compute requests (excess get 429)")
+	engineWorkers := flag.Int("engine-workers", 1, "vadalog workers per admitted query")
+	maxFacts := flag.Int("max-facts", 1_000_000, "per-query derived-fact valve (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (negative = none)")
+	cache := flag.Int("cache", 1024, "query-result LRU entries (0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	debug := flag.Bool("debug", false, "mount /debug/vars, /debug/pprof and /debug/latency")
+	ff := cli.RegisterFaultFlags(flag.CommandLine, true)
+	flag.Parse()
+
+	policy, done, err := ff.Apply(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if done {
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "kgserve: need -in <graph.json>")
+		os.Exit(2)
+	}
+
+	var schema *supermodel.Schema
+	switch {
+	case *companyKG:
+		schema = supermodel.CompanyKG()
+	case *schemaFile != "":
+		src, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fatal(err)
+		}
+		if schema, err = gsl.Parse(string(src)); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Source:        *in,
+		Schema:        schema,
+		Strategy:      *strategy,
+		MaxInflight:   *inflight,
+		EngineWorkers: *engineWorkers,
+		MaxFacts:      *maxFacts,
+		Timeout:       *timeout,
+		CacheSize:     *cache,
+		Retry:         ff.RetryPolicy(),
+		OnFault:       policy,
+		Debug:         *debug,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kgserve: serving generation %d on http://%s\n", srv.Generation(), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "kgserve: %v — draining (budget %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kgserve:", err)
+	os.Exit(1)
+}

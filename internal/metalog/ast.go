@@ -155,12 +155,15 @@ func (s Step) String() string { return s.Edge.String() }
 type Concat struct{ Parts []PathExpr }
 
 func (Concat) isPathExpr() {}
+
+// String parenthesizes the sequence: the "." separator is only grammatical
+// inside a group, so a bare "a . b" would not reparse at chain level.
 func (c Concat) String() string {
 	parts := make([]string, len(c.Parts))
 	for i, p := range c.Parts {
 		parts[i] = p.String()
 	}
-	return strings.Join(parts, " . ")
+	return "(" + strings.Join(parts, " . ") + ")"
 }
 
 // Alt is the alternation (S | T | …).

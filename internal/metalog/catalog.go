@@ -29,6 +29,23 @@ func NewCatalog() *Catalog {
 	return &Catalog{NodeProps: map[string][]string{}, EdgeProps: map[string][]string{}}
 }
 
+// Clone returns a deep copy of the catalog. Query translation extends the
+// catalog it is handed (the query-result layout), so callers sharing one
+// catalog across concurrent queries clone it per call.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		NodeProps: make(map[string][]string, len(c.NodeProps)),
+		EdgeProps: make(map[string][]string, len(c.EdgeProps)),
+	}
+	for label, props := range c.NodeProps {
+		out.NodeProps[label] = append([]string(nil), props...)
+	}
+	for label, props := range c.EdgeProps {
+		out.EdgeProps[label] = append([]string(nil), props...)
+	}
+	return out
+}
+
 // FromGraph infers a catalog from the labels and properties present in a
 // graph instance.
 func FromGraph(g pg.View) *Catalog {

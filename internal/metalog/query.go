@@ -1,6 +1,8 @@
 package metalog
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -41,19 +43,98 @@ const queryResultLabel = "__QueryResult"
 // Query evaluates a MetaLog body pattern against the graph and returns the
 // matches in deterministic order. The catalog is inferred from the graph.
 func Query(g pg.View, pattern string, opts vadalog.Options) ([]QueryRow, error) {
-	return QueryWithCatalog(g, FromGraph(g), pattern, opts)
+	return QueryCtx(context.Background(), g, pattern, opts)
+}
+
+// QueryCtx is Query under a context: the evaluation stops cooperatively once
+// ctx is canceled or its deadline expires (see vadalog.RunCtx).
+func QueryCtx(ctx context.Context, g pg.View, pattern string, opts vadalog.Options) ([]QueryRow, error) {
+	return QueryWithCatalogCtx(ctx, g, FromGraph(g), pattern, opts)
 }
 
 // QueryWithCatalog is Query with a caller-provided catalog (schema-derived
-// layouts).
+// layouts). The catalog is extended with the query-result layout and must be
+// private to the call.
 func QueryWithCatalog(g pg.View, cat *Catalog, pattern string, opts vadalog.Options) ([]QueryRow, error) {
-	body, err := ParseBody(pattern)
+	return QueryWithCatalogCtx(context.Background(), g, cat, pattern, opts)
+}
+
+// QueryWithCatalogCtx is QueryWithCatalog under a context.
+func QueryWithCatalogCtx(ctx context.Context, g pg.View, cat *Catalog, pattern string, opts vadalog.Options) ([]QueryRow, error) {
+	// Translate before extracting: a pattern may mention labels or
+	// properties absent from the catalog, which Translate adds to the
+	// layouts — extraction then emits the corresponding null columns and
+	// the query binds them to Missing instead of failing on arity.
+	tr, vars, err := buildQueryProgram(pattern, cat)
 	if err != nil {
 		return nil, err
 	}
+	db, err := ExtractFacts(g, cat)
+	if err != nil {
+		return nil, err
+	}
+	// The fact database was extracted for this call alone; hand it over so
+	// the engine skips its defensive clone.
+	opts.OwnInput = true
+	return runQueryProgram(ctx, tr, vars, db, cat, opts)
+}
+
+// ErrStaleDatabase reports that a query needs catalog layouts beyond the
+// ones its pre-extracted database was built with — the pattern mentions a
+// label or property the extraction never emitted columns for. Re-extract
+// against the extended catalog (or fall back to QueryWithCatalogCtx, which
+// does) to serve such a query.
+var ErrStaleDatabase = errors.New("metalog: query needs layouts absent from the pre-extracted database")
+
+// QueryDBCtx evaluates a pattern against a pre-extracted fact database (see
+// ExtractFacts). Unless opts.OwnInput is set the database is cloned by the
+// engine and survives the call untouched, so one extraction can be shared
+// across many concurrent queries — the serving layer's hot path. The catalog
+// is extended with the query-result layout and must be private to the call
+// (Catalog.Clone a shared one). A pattern that mentions labels or properties
+// outside the catalog the database was extracted with fails with
+// ErrStaleDatabase rather than evaluating against misaligned relations.
+func QueryDBCtx(ctx context.Context, db *vadalog.Database, cat *Catalog, pattern string, opts vadalog.Options) ([]QueryRow, error) {
+	nodeW := make(map[string]int, len(cat.NodeProps))
+	for l, ps := range cat.NodeProps {
+		nodeW[l] = len(ps)
+	}
+	edgeW := make(map[string]int, len(cat.EdgeProps))
+	for l, ps := range cat.EdgeProps {
+		edgeW[l] = len(ps)
+	}
+	tr, vars, err := buildQueryProgram(pattern, cat)
+	if err != nil {
+		return nil, err
+	}
+	for l, ps := range cat.NodeProps {
+		if l == queryResultLabel {
+			continue
+		}
+		if w, ok := nodeW[l]; !ok || len(ps) != w {
+			return nil, fmt.Errorf("node label %s: %w", l, ErrStaleDatabase)
+		}
+	}
+	for l, ps := range cat.EdgeProps {
+		if w, ok := edgeW[l]; !ok || len(ps) != w {
+			return nil, fmt.Errorf("edge label %s: %w", l, ErrStaleDatabase)
+		}
+	}
+	return runQueryProgram(ctx, tr, vars, db, cat, opts)
+}
+
+// buildQueryProgram parses a body pattern, wraps it into a __QueryResult
+// rule, and translates it against cat (extending cat with any layouts the
+// pattern introduces plus the query-result layout). It returns the compiled
+// program and the sorted pattern variables.
+func buildQueryProgram(pattern string, cat *Catalog) (*Translation, []string, error) {
+	body, err := ParseBody(pattern)
+	if err != nil {
+		return nil, nil, err
+	}
 	vars := patternVariables(body)
 	if len(vars) == 0 {
-		return nil, fmt.Errorf("metalog: query pattern has no named variables")
+		return nil, nil, fmt.Errorf("metalog: query pattern has no named variables")
 	}
 
 	// Wrap the body into a rule deriving one __QueryResult node per distinct
@@ -70,13 +151,13 @@ func QueryWithCatalog(g pg.View, cat *Catalog, pattern string, opts vadalog.Opti
 
 	tr, err := Translate(prog, cat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	db, err := ExtractFacts(g, cat)
-	if err != nil {
-		return nil, err
-	}
-	res, err := vadalog.RunInPlace(tr.Program, db, opts)
+	return tr, vars, nil
+}
+
+func runQueryProgram(ctx context.Context, tr *Translation, vars []string, db *vadalog.Database, cat *Catalog, opts vadalog.Options) ([]QueryRow, error) {
+	res, err := vadalog.RunCtx(ctx, tr.Program, db, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package metalog
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -183,5 +185,59 @@ func TestExplainThroughMetaLog(t *testing.T) {
 	text := proof.String()
 	if !strings.Contains(text, "OWNS(") || !strings.Contains(text, "[ground]") {
 		t.Errorf("proof should reach the OWNS ground data:\n%s", text)
+	}
+}
+
+// TestQueryAbsentProperty pins the pre-serving-layer behavior of the
+// one-shot query path: a pattern may mention a property no node carries —
+// translation extends the catalog, extraction emits the null column, and
+// the variable simply binds to Missing (dropped from the row) instead of
+// the evaluation failing on an arity mismatch.
+func TestQueryAbsentProperty(t *testing.T) {
+	g := queryGraph(t)
+	rows, err := Query(g, `(x: Business; nope: n) [: OWNS] (y: Business)`, vadalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if _, bound := r["n"]; bound {
+			t.Fatalf("absent property bound to %v", r["n"])
+		}
+		if _, ok := r.OID("x"); !ok {
+			t.Fatalf("x unbound in %v", r)
+		}
+	}
+}
+
+// TestQueryDBStaleDatabase: the shared-database path cannot invent columns
+// after extraction, so the same pattern fails with the typed sentinel the
+// serving layer keys its re-extraction fallback on.
+func TestQueryDBStaleDatabase(t *testing.T) {
+	g := queryGraph(t)
+	cat := FromGraph(g)
+	db, err := ExtractFacts(g, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{
+		`(x: Business; nope: n) [: OWNS] (y: Business)`,      // absent node prop
+		`(x: Business) [: OWNS; nope: n] (y: Business)`,      // absent edge prop
+		`(x: NoSuchLabel) [: OWNS] (y: Business)`,            // absent node label
+		`(x: Business) [: NO_SUCH_EDGE] (y: Business)`,       // absent edge label
+	} {
+		if _, err := QueryDBCtx(context.Background(), db, cat.Clone(), pattern, vadalog.Options{}); !errors.Is(err, ErrStaleDatabase) {
+			t.Errorf("pattern %q: err = %v, want ErrStaleDatabase", pattern, err)
+		}
+	}
+	// The known-layout pattern still evaluates against the same database.
+	rows, err := QueryDBCtx(context.Background(), db, cat.Clone(), `(x: Business; businessName: n) [: OWNS] (y: Business)`, vadalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
 	}
 }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyTracker aggregates request latencies per named operation — the
+// serving layer uses one per server with the endpoint as the name. It is a
+// trace in the same spirit as RunTrace: cheap to record on the hot path
+// (one mutex-guarded fold), deterministic to serialize (names sorted,
+// wall-clock fields separable from the structural ones).
+type LatencyTracker struct {
+	mu  sync.Mutex
+	ops map[string]*opLatency
+}
+
+type opLatency struct {
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// OpLatency is one operation's aggregated latency figures.
+type OpLatency struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// NewLatencyTracker returns an empty tracker.
+func NewLatencyTracker() *LatencyTracker {
+	return &LatencyTracker{ops: map[string]*opLatency{}}
+}
+
+// Observe folds one completed operation into the per-name aggregate.
+func (t *LatencyTracker) Observe(name string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	op := t.ops[name]
+	if op == nil {
+		op = &opLatency{min: d}
+		t.ops[name] = op
+	}
+	op.count++
+	op.total += d
+	if d < op.min {
+		op.min = d
+	}
+	if d > op.max {
+		op.max = d
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the aggregates sorted by name.
+func (t *LatencyTracker) Snapshot() []OpLatency {
+	t.mu.Lock()
+	out := make([]OpLatency, 0, len(t.ops))
+	for name, op := range t.ops {
+		o := OpLatency{Name: name, Count: op.count, Total: op.total, Min: op.min, Max: op.max}
+		if op.count > 0 {
+			o.Mean = op.total / time.Duration(op.count)
+		}
+		out = append(out, o)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON serializes the snapshot as an indented JSON array, names sorted.
+func (t *LatencyTracker) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot())
+}

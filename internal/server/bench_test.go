@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fingraph"
+)
+
+// E20 serving benchmarks (EXPERIMENTS.md): end-to-end /query throughput
+// over a real TCP listener with the result cache disabled, so every request
+// is admitted, evaluated against the frozen snapshot, and marshaled.
+//
+// Two families:
+//
+//   - BenchmarkServeQueryC{1,2,8}: CPU-bound evaluation. Scaling with
+//     client count here requires spare cores — on a single-core host the
+//     curve is flat by construction, on an N-core host it tracks N.
+//   - BenchmarkServeBackendC{1,8}: each request additionally carries a
+//     fixed 5ms service-time floor (the server/handler fault site in delay
+//     mode — simulating the backend/storage waits of a production stack).
+//     Throughput here scales with how many requests the server genuinely
+//     overlaps, independent of core count: a serialized server stays at
+//     1x, the admission pool's concurrency shows up directly as the
+//     C8/C1 ratio. This is the acceptance ratio recorded in
+//     BENCH_serve.json.
+func benchServe(b *testing.B, clients int, backendDelay time.Duration) {
+	g := fingraph.GenerateTopology(fingraph.DefaultConfig(10, 5)).Shareholding()
+	s, err := NewFromGraph(Config{CacheSize: 0, MaxInflight: 16, Timeout: -1}, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+		<-done
+	}()
+
+	url := "http://" + ln.Addr().String() + "/query"
+	body := []byte(`{"query":"(x: Business; fiscalCode: c) [: OWNS; percentage: p] (y: Business), p > 0.5"}`)
+
+	// Warm the path (and the lazily computed snapshot state) off the clock.
+	warm, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body) //nolint:errcheck
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d", warm.StatusCode)
+	}
+
+	if backendDelay > 0 {
+		defer fault.Reset()
+		if err := fault.Arm("server/handler", fault.Plan{
+			Mode: fault.ModeDelay, Delay: backendDelay, Times: -1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Transport: &http.Transport{}}
+			defer client.CloseIdleConnections()
+			for next.Add(1) <= int64(b.N) {
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Error(fmt.Errorf("status %d", resp.StatusCode))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeQueryC1(b *testing.B) { benchServe(b, 1, 0) }
+func BenchmarkServeQueryC2(b *testing.B) { benchServe(b, 2, 0) }
+func BenchmarkServeQueryC8(b *testing.B) { benchServe(b, 8, 0) }
+
+const backendFloor = 5 * time.Millisecond
+
+func BenchmarkServeBackendC1(b *testing.B) { benchServe(b, 1, backendFloor) }
+func BenchmarkServeBackendC8(b *testing.B) { benchServe(b, 8, backendFloor) }
+
+// BenchmarkServeCacheHit measures the cache fast path: same canonical query,
+// warm LRU — an upper bound on per-request overhead (decode, admission,
+// lookup, write).
+func BenchmarkServeCacheHit(b *testing.B) {
+	g := fingraph.GenerateTopology(fingraph.DefaultConfig(10, 5)).Shareholding()
+	s, err := NewFromGraph(Config{CacheSize: 8, MaxInflight: 16, Timeout: -1}, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+		<-done
+	}()
+	url := "http://" + ln.Addr().String() + "/query"
+	body := []byte(`{"query":"(x: Business; fiscalCode: c) [: OWNS; percentage: p] (y: Business), p > 0.5"}`)
+	client := &http.Client{}
+	warm, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body) //nolint:errcheck
+	warm.Body.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+}

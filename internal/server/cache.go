@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// cacheKey identifies one query result: the snapshot generation pins the
+// data the result was computed from, so a /reload swap invalidates every
+// cached entry implicitly — stale generations simply stop being asked for
+// and age out of the LRU. Canonicalized query text plus the row limit pin
+// the computation.
+type cacheKey struct {
+	gen   uint64
+	query string
+	limit int
+}
+
+// canonicalQuery normalizes a pattern for cache keying: runs of whitespace
+// (including newlines) collapse to single spaces, so formatting differences
+// between clients hit the same entry. It deliberately does not parse — two
+// alpha-renamed patterns are different keys, which only costs a duplicate
+// entry, never a wrong answer.
+func canonicalQuery(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// resultCache is a mutex-guarded LRU over marshaled response bodies. Storing
+// the exact bytes (not the row structs) makes a cache hit bit-identical to
+// the miss that populated it — the soak test asserts precisely that.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// newResultCache returns a cache holding up to capacity entries; capacity
+// <= 0 disables caching (every lookup misses, puts are dropped).
+func newResultCache(capacity int) *resultCache {
+	c := &resultCache{cap: capacity}
+	if capacity > 0 {
+		c.order = list.New()
+		c.items = make(map[cacheKey]*list.Element, capacity)
+	}
+	return c
+}
+
+func (c *resultCache) get(k cacheKey) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (c *resultCache) put(k cacheKey, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[k] = c.order.PushFront(&cacheEntry{key: k, body: body})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

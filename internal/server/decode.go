@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/metalog"
+	"repro/internal/vadalog"
+)
+
+// apiError is the typed error every endpoint returns to clients: an HTTP
+// status plus a stable machine-readable code. The JSON shape is
+//
+//	{"error": {"code": "saturated", "message": "..."}}
+//
+// and every non-2xx response of the server — including injected faults and
+// contained panics — carries it, so clients never have to parse free text.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Code + ": " + e.Message }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: fmt.Sprintf(format, args...)}
+}
+
+func errTooLarge(limit int64) *apiError {
+	return &apiError{Status: http.StatusRequestEntityTooLarge, Code: "too_large",
+		Message: fmt.Sprintf("request body exceeds %d bytes", limit)}
+}
+
+func errMethod(want string) *apiError {
+	return &apiError{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+		Message: "use " + want}
+}
+
+func errSaturated() *apiError {
+	return &apiError{Status: http.StatusTooManyRequests, Code: "saturated",
+		Message: "all query workers busy; retry with backoff"}
+}
+
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client gone
+		Error *apiError `json:"error"`
+	}{e})
+}
+
+// queryRequest is the POST /query payload.
+type queryRequest struct {
+	// Query is the MetaLog body pattern to evaluate (docs/METALOG.md).
+	Query string `json:"query"`
+	// Limit caps the number of rows returned; 0 returns all.
+	Limit int `json:"limit"`
+}
+
+// reloadRequest is the POST /reload payload; an empty body (or empty path)
+// reloads the server's configured source.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// validateRequest is the POST /validate payload; an empty strategy uses the
+// server's configured one.
+type validateRequest struct {
+	Strategy string `json:"strategy"`
+}
+
+// maxQueryLen bounds the pattern text independently of the body cap: a
+// megabyte of conjuncts is an attack, not a query.
+const maxQueryLen = 1 << 16
+
+// readBody reads at most maxBody bytes, distinguishing "too large" from
+// transport errors. A zero-length body is returned as-is; the per-request
+// decoders decide whether that is allowed.
+func readBody(r io.Reader, maxBody int64) ([]byte, *apiError) {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	body, err := io.ReadAll(io.LimitReader(r, maxBody+1))
+	if err != nil {
+		return nil, errBadRequest("reading body: %v", err)
+	}
+	if int64(len(body)) > maxBody {
+		return nil, errTooLarge(maxBody)
+	}
+	return body, nil
+}
+
+// decodeQueryRequest parses and validates a /query body. It is the surface
+// FuzzDecodeQuery exercises: any input must produce either a request or a
+// typed error, never a panic. The MetaLog pattern is parsed here too, so
+// syntax errors come back as bad_query before a worker slot is taken.
+func decodeQueryRequest(body []byte) (*queryRequest, *apiError) {
+	req := &queryRequest{}
+	if err := strictUnmarshal(body, req); err != nil {
+		return nil, errBadRequest("decoding query request: %v", err)
+	}
+	req.Query = strings.TrimSpace(req.Query)
+	if req.Query == "" {
+		return nil, errBadRequest("empty query")
+	}
+	if len(req.Query) > maxQueryLen {
+		return nil, errTooLarge(maxQueryLen)
+	}
+	if req.Limit < 0 {
+		return nil, errBadRequest("negative limit %d", req.Limit)
+	}
+	if _, err := metalog.ParseBody(req.Query); err != nil {
+		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_query", Message: err.Error()}
+	}
+	return req, nil
+}
+
+// decodeReloadRequest parses a /reload body; empty bodies are valid and mean
+// "reload the configured source".
+func decodeReloadRequest(body []byte) (*reloadRequest, *apiError) {
+	req := &reloadRequest{}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return req, nil
+	}
+	if err := strictUnmarshal(body, req); err != nil {
+		return nil, errBadRequest("decoding reload request: %v", err)
+	}
+	return req, nil
+}
+
+// decodeValidateRequest parses a /validate body; empty bodies are valid.
+func decodeValidateRequest(body []byte) (*validateRequest, *apiError) {
+	req := &validateRequest{}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return req, nil
+	}
+	if err := strictUnmarshal(body, req); err != nil {
+		return nil, errBadRequest("decoding validate request: %v", err)
+	}
+	return req, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data,
+// so typos in request payloads fail loudly instead of being ignored.
+func strictUnmarshal(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// mapEvalError classifies an evaluation failure into the typed error space:
+// deadline and cancellation map onto their own codes (the PR 2 sentinels),
+// injected faults and contained panics onto theirs, everything else onto a
+// generic eval_failed.
+func mapEvalError(err error) *apiError {
+	var pe *fault.PanicError
+	switch {
+	case errors.Is(err, vadalog.ErrTimeout):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: "timeout", Message: err.Error()}
+	case errors.Is(err, vadalog.ErrCanceled):
+		// The client went away; the status is moot but keep it typed.
+		return &apiError{Status: http.StatusRequestTimeout, Code: "canceled", Message: err.Error()}
+	case errors.As(err, &pe):
+		return &apiError{Status: http.StatusInternalServerError, Code: "panic", Message: err.Error()}
+	case errors.Is(err, fault.ErrInjected):
+		return &apiError{Status: http.StatusInternalServerError, Code: "injected", Message: err.Error()}
+	default:
+		return &apiError{Status: http.StatusInternalServerError, Code: "eval_failed", Message: err.Error()}
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeQuery exercises the /query request decoder — the surface raw
+// client bytes cross before any worker slot is taken. The contract under
+// fuzzing: decodeQueryRequest either returns a request or a typed apiError
+// with a status and a code; it never panics, whatever the JSON shape or the
+// MetaLog inside it (the MetaLog parser itself is additionally fuzzed by
+// internal/metalog's FuzzParse). make fuzz-smoke gives this a short budget.
+func FuzzDecodeQuery(f *testing.F) {
+	seeds := []string{
+		`{"query":"(x: Business; businessName: n) [: CONTROLS] (y: Business), x != y"}`,
+		`{"query":"(x: Business)","limit":10}`,
+		`{"query":""}`,
+		`{"query":"((("}`,
+		`{"query":"(x: Business)","limit":-5}`,
+		`{"query":"(x: Business)","nope":true}`,
+		`{"query":"(x: Business)"} trailing`,
+		`{"query`,
+		`[1,2,3]`,
+		`null`,
+		`"just a string"`,
+		`{"query":"(x: B) ([: E])+ (y: B)"}`,
+		`{"query":"(x: B; p: v), v > 1, v < "}`,
+		`{"query":"` + strings.Repeat("(x: A),", 200) + `(y: B)"}`,
+		"\xff\xfe{\"query\":\"(x: A)\"}",
+		`{"limit":9223372036854775807,"query":"(x: A)"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, aerr := decodeQueryRequest(data)
+		if (req == nil) == (aerr == nil) {
+			t.Fatalf("decoder must return exactly one of request/error: req=%v err=%v", req, aerr)
+		}
+		if aerr != nil {
+			if aerr.Status < 400 || aerr.Status > 599 {
+				t.Fatalf("error status out of range: %d", aerr.Status)
+			}
+			if aerr.Code == "" {
+				t.Fatal("error with empty code")
+			}
+			return
+		}
+		if req.Query == "" || req.Limit < 0 {
+			t.Fatalf("decoder accepted invalid request: %+v", req)
+		}
+		// Canonicalization must be stable (cache keys depend on it).
+		if canonicalQuery(req.Query) != canonicalQuery(canonicalQuery(req.Query)) {
+			t.Fatal("canonicalQuery is not idempotent")
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// Process-wide serving counters, in the same style as the engine counters of
+// internal/obs: static program locations, published once under the "kgserve"
+// expvar map. Tests read them through CountersSnapshot deltas so multiple
+// server instances per process (the test suites) stay unambiguous.
+var (
+	mRequests  atomic.Int64 // requests dispatched to any endpoint
+	mErrors    atomic.Int64 // requests answered with a typed error
+	mRejected  atomic.Int64 // requests shed by admission control (429)
+	mHits      atomic.Int64 // query cache hits
+	mMisses    atomic.Int64 // query cache misses (evaluations)
+	mReloads   atomic.Int64 // successful snapshot swaps
+	mReloadErr atomic.Int64 // failed reloads (snapshot kept)
+
+	metricsOnce sync.Once
+)
+
+// CounterSnapshot is a point-in-time copy of the serving counters.
+type CounterSnapshot struct {
+	Requests, Errors, Rejected int64
+	CacheHits, CacheMisses     int64
+	Reloads, ReloadErrors      int64
+}
+
+// CountersSnapshot returns the current process-wide serving counters.
+func CountersSnapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Requests:     mRequests.Load(),
+		Errors:       mErrors.Load(),
+		Rejected:     mRejected.Load(),
+		CacheHits:    mHits.Load(),
+		CacheMisses:  mMisses.Load(),
+		Reloads:      mReloads.Load(),
+		ReloadErrors: mReloadErr.Load(),
+	}
+}
+
+// registerExpvar publishes the serving counters as the expvar map "kgserve"
+// (served at /debug/vars). Safe to call more than once.
+func registerExpvar() {
+	metricsOnce.Do(func() {
+		m := new(expvar.Map)
+		m.Set("requests", expvar.Func(func() any { return mRequests.Load() }))
+		m.Set("errors", expvar.Func(func() any { return mErrors.Load() }))
+		m.Set("rejected", expvar.Func(func() any { return mRejected.Load() }))
+		m.Set("cache_hits", expvar.Func(func() any { return mHits.Load() }))
+		m.Set("cache_misses", expvar.Func(func() any { return mMisses.Load() }))
+		m.Set("reloads", expvar.Func(func() any { return mReloads.Load() }))
+		m.Set("reload_errors", expvar.Func(func() any { return mReloadErr.Load() }))
+		expvar.Publish("kgserve", m)
+	})
+}

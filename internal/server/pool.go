@@ -1,0 +1,44 @@
+package server
+
+import "sync"
+
+// pool is the admission controller for the compute endpoints: a counting
+// semaphore sized to the worker budget. Acquisition never queues — a full
+// pool turns the request away immediately with 429, which keeps tail
+// latency bounded under overload (shed, don't buffer). drain() waits for
+// in-flight work during graceful shutdown.
+type pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &pool{sem: make(chan struct{}, workers)}
+}
+
+// tryAcquire claims a worker slot if one is free; it never blocks.
+func (p *pool) tryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		p.wg.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *pool) release() {
+	<-p.sem
+	p.wg.Done()
+}
+
+// inflight reports the number of currently held slots.
+func (p *pool) inflight() int { return len(p.sem) }
+
+// drain blocks until every held slot is released. New tryAcquire calls can
+// still succeed while draining; the server stops routing requests before it
+// drains.
+func (p *pool) drain() { p.wg.Wait() }

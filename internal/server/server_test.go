@@ -1,0 +1,471 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pg"
+	"repro/internal/supermodel"
+	"repro/internal/value"
+)
+
+// tinyGraph is the two-company control graph used by the golden tests:
+// node 1 (ACME) controls node 2 (Bolt) through edge 3.
+func tinyGraph() *pg.Graph {
+	g := pg.New()
+	a := g.AddNode([]string{"Business"}, pg.Props{"businessName": value.Str("ACME")})
+	b := g.AddNode([]string{"Business"}, pg.Props{"businessName": value.Str("Bolt")})
+	g.MustAddEdge(a.ID, b.ID, "CONTROLS", nil)
+	return g
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewFromGraph(cfg, tinyGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func errCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var resp struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("error body is not typed JSON: %v: %q", err, w.Body.String())
+	}
+	if resp.Error.Code == "" {
+		t.Fatalf("error body has empty code: %q", w.Body.String())
+	}
+	return resp.Error.Code
+}
+
+const controlQuery = `(x: Business; businessName: n) [: CONTROLS] (y: Business), x != y`
+
+func TestQueryGolden(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postJSON(t, s.Handler(), "/query", `{"query":"(x: Business; businessName: n) [: CONTROLS] (y: Business), x != y"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	golden := `{
+  "columns": [
+    "n",
+    "x",
+    "y"
+  ],
+  "rows": [
+    {
+      "n": "ACME",
+      "x": 1,
+      "y": 2
+    }
+  ],
+  "count": 1,
+  "total": 1
+}
+`
+	if got := w.Body.String(); got != golden {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+	if gen := w.Header().Get("X-KG-Generation"); gen != "1" {
+		t.Errorf("generation header = %q, want 1", gen)
+	}
+	if c := w.Header().Get("X-KG-Cache"); c != "miss" {
+		t.Errorf("cache header = %q, want miss (cache disabled still reports miss)", c)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := getPath(t, s.Handler(), "/healthz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+		Nodes      int    `json:"nodes"`
+		Edges      int    `json:"edges"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Generation != 1 || resp.Nodes != 2 || resp.Edges != 1 {
+		t.Errorf("unexpected healthz: %+v", resp)
+	}
+}
+
+func TestQueryCacheHitIsBitIdentical(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 8})
+	body := fmt.Sprintf(`{"query":%q}`, controlQuery)
+	w1 := postJSON(t, s.Handler(), "/query", body)
+	// Same pattern with scrambled whitespace must canonicalize to the same
+	// cache key.
+	w2 := postJSON(t, s.Handler(), "/query", fmt.Sprintf(`{"query":%q}`,
+		"(x: Business;  businessName: n)\n\t[: CONTROLS] (y: Business),\n x != y"))
+	if w1.Header().Get("X-KG-Cache") != "miss" || w2.Header().Get("X-KG-Cache") != "hit" {
+		t.Fatalf("cache headers = %q, %q; want miss, hit",
+			w1.Header().Get("X-KG-Cache"), w2.Header().Get("X-KG-Cache"))
+	}
+	if !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Errorf("cache hit body differs from miss body")
+	}
+	// A different limit is a different key.
+	w3 := postJSON(t, s.Handler(), "/query", fmt.Sprintf(`{"query":%q,"limit":1}`, controlQuery))
+	if w3.Header().Get("X-KG-Cache") != "miss" {
+		t.Errorf("different limit should miss, got %q", w3.Header().Get("X-KG-Cache"))
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postJSON(t, s.Handler(), "/query", `{"query":"(x: Business; businessName: n)","limit":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || resp.Total != 2 || len(resp.Rows) != 1 {
+		t.Errorf("limit not applied: count=%d total=%d rows=%d", resp.Count, resp.Total, len(resp.Rows))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := newTestServer(t, Config{MaxBody: 256})
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"malformed JSON", `{"query":`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", `{"query":"(x: Business)","nope":1}`, http.StatusBadRequest, "bad_request"},
+		{"trailing data", `{"query":"(x: Business)"} extra`, http.StatusBadRequest, "bad_request"},
+		{"empty query", `{"query":"  "}`, http.StatusBadRequest, "bad_request"},
+		{"negative limit", `{"query":"(x: Business)","limit":-1}`, http.StatusBadRequest, "bad_request"},
+		{"bad metalog", `{"query":"((("}`, http.StatusBadRequest, "bad_query"},
+		{"no variables", `{"query":"(: Business)"}`, http.StatusInternalServerError, "eval_failed"},
+		{"oversized body", `{"query":"` + strings.Repeat("x", 300) + `"}`, http.StatusRequestEntityTooLarge, "too_large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, s.Handler(), "/query", tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d: %s", w.Code, tc.status, w.Body.String())
+			}
+			if code := errCode(t, w); code != tc.code {
+				t.Errorf("code %q, want %q", code, tc.code)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := getPath(t, s.Handler(), "/query")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", w.Code)
+	}
+	if code := errCode(t, w); code != "method_not_allowed" {
+		t.Errorf("code %q", code)
+	}
+	if allow := w.Header().Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q", allow)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	// Pool of 1, occupied directly: a request arriving while every worker
+	// slot is held must be shed with a typed 429, not queued.
+	s := newTestServer(t, Config{MaxInflight: 1})
+	if !s.pool.tryAcquire() {
+		t.Fatal("pool should have a free slot")
+	}
+	defer s.pool.release()
+	w := postJSON(t, s.Handler(), "/query", fmt.Sprintf(`{"query":%q}`, controlQuery))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if code := errCode(t, w); code != "saturated" {
+		t.Errorf("code %q, want saturated", code)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Timeout: time.Nanosecond})
+	w := postJSON(t, s.Handler(), "/query", fmt.Sprintf(`{"query":%q}`, controlQuery))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if code := errCode(t, w); code != "timeout" {
+		t.Errorf("code %q, want timeout", code)
+	}
+}
+
+func TestValidateEndpoints(t *testing.T) {
+	noSchema := newTestServer(t, Config{})
+	w := postJSON(t, noSchema.Handler(), "/validate", `{}`)
+	if w.Code != http.StatusNotFound || errCode(t, w) != "no_schema" {
+		t.Fatalf("no-schema validate: status %d body %s", w.Code, w.Body.String())
+	}
+
+	s := newTestServer(t, Config{Schema: supermodel.CompanyKG()})
+	w = postJSON(t, s.Handler(), "/validate", ``)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Schema   string `json:"schema"`
+		Strategy string `json:"strategy"`
+		Conforms bool   `json:"conforms"`
+		Count    int    `json:"count"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Schema != "CompanyKG" || resp.Strategy != "multi-label" {
+		t.Errorf("unexpected validate response: %+v", resp)
+	}
+	// The tiny graph misses mandatory Company KG properties; the endpoint
+	// must report that, not hide it.
+	if resp.Conforms || resp.Count == 0 {
+		t.Errorf("expected violations on the tiny graph, got %+v", resp)
+	}
+
+	w = postJSON(t, s.Handler(), "/validate", `{"strategy":"no-such-strategy"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad strategy: status %d", w.Code)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Schema: supermodel.CompanyKG()})
+	w := getPath(t, s.Handler(), "/schema")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp struct {
+		Name       string              `json:"name"`
+		GSL        string              `json:"gsl"`
+		NodeLabels map[string][]string `json:"nodeLabels"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "CompanyKG" || resp.GSL == "" {
+		t.Errorf("schema response missing design: %+v", resp.Name)
+	}
+	if _, ok := resp.NodeLabels["Business"]; !ok {
+		t.Errorf("catalog layout missing Business label: %v", resp.NodeLabels)
+	}
+}
+
+func TestReloadErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// No configured source and no path.
+	w := postJSON(t, s.Handler(), "/reload", ``)
+	if w.Code != http.StatusInternalServerError || errCode(t, w) != "load_failed" {
+		t.Fatalf("status %d body %s", w.Code, w.Body.String())
+	}
+	// Nonexistent path: typed error, generation untouched.
+	w = postJSON(t, s.Handler(), "/reload", `{"path":"/nonexistent/kg.json"}`)
+	if w.Code != http.StatusInternalServerError || errCode(t, w) != "load_failed" {
+		t.Fatalf("status %d body %s", w.Code, w.Body.String())
+	}
+	if s.Generation() != 1 {
+		t.Errorf("generation moved on failed reload: %d", s.Generation())
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	k := func(q string) cacheKey { return cacheKey{gen: 1, query: q} }
+	c.put(k("a"), []byte("A"))
+	c.put(k("b"), []byte("B"))
+	if _, ok := c.get(k("a")); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.put(k("c"), []byte("C")) // evicts b (a was just used)
+	if _, ok := c.get(k("b")); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, ok := c.get(k("a")); !ok || string(got) != "A" {
+		t.Errorf("a lost: %q %v", got, ok)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+	// Overwrite keeps one entry.
+	c.put(k("a"), []byte("A2"))
+	if got, _ := c.get(k("a")); string(got) != "A2" {
+		t.Errorf("overwrite lost: %q", got)
+	}
+
+	off := newResultCache(0)
+	off.put(k("x"), []byte("X"))
+	if _, ok := off.get(k("x")); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestCanonicalQuery(t *testing.T) {
+	a := canonicalQuery("  (x: Business)\n\t[: OWNS]   (y: Business)  ")
+	b := canonicalQuery("(x: Business) [: OWNS] (y: Business)")
+	if a != b {
+		t.Errorf("canonical forms differ: %q vs %q", a, b)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := newPool(2)
+	if !p.tryAcquire() || !p.tryAcquire() {
+		t.Fatal("two slots expected")
+	}
+	if p.tryAcquire() {
+		t.Fatal("third acquire should fail")
+	}
+	if p.inflight() != 2 {
+		t.Errorf("inflight = %d", p.inflight())
+	}
+	done := make(chan struct{})
+	go func() { p.drain(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("drain returned with slots held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.release()
+	p.release()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not return after release")
+	}
+}
+
+func TestLatencyTracked(t *testing.T) {
+	s := newTestServer(t, Config{})
+	getPath(t, s.Handler(), "/healthz")
+	getPath(t, s.Handler(), "/healthz")
+	snap := s.Latency().Snapshot()
+	for _, op := range snap {
+		if op.Name == "healthz" {
+			if op.Count != 2 {
+				t.Errorf("healthz count = %d", op.Count)
+			}
+			return
+		}
+	}
+	t.Error("healthz missing from latency snapshot")
+}
+
+func TestConcurrentQueriesShareSnapshot(t *testing.T) {
+	// The catalog-clone discipline: concurrent queries with different
+	// variable sets against one shared snapshot must not interfere (this is
+	// the regression test for sharing the snapshot catalog un-cloned).
+	s := newTestServer(t, Config{MaxInflight: 8})
+	queries := []string{
+		`(x: Business; businessName: n) [: CONTROLS] (y: Business), x != y`,
+		`(a: Business; businessName: m)`,
+		`(p: Business) [e: CONTROLS] (q: Business)`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		w := postJSON(t, s.Handler(), "/query", fmt.Sprintf(`{"query":%q}`, q))
+		if w.Code != http.StatusOK {
+			t.Fatalf("probe %d: %s", w.Code, w.Body.String())
+		}
+		want[i] = w.Body.String()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (g + i) % len(queries)
+				w := postJSON(t, s.Handler(), "/query", fmt.Sprintf(`{"query":%q}`, queries[qi]))
+				if w.Code == http.StatusTooManyRequests {
+					continue // shed is a valid outcome
+				}
+				if w.Code != http.StatusOK {
+					errs <- fmt.Sprintf("status %d: %s", w.Code, w.Body.String())
+					return
+				}
+				if w.Body.String() != want[qi] {
+					errs <- fmt.Sprintf("query %d result drifted under concurrency", qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestQueryAbsentPropFallsBack: a pattern mentioning a property absent from
+// the snapshot's pre-extracted database takes the re-extraction slow path
+// (metalog.ErrStaleDatabase → QueryWithCatalogCtx against the frozen view)
+// and still answers 200, with the result cached like any other.
+func TestQueryAbsentPropFallsBack(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 8})
+	body := `{"query":"(x: Business; nope: v) [: CONTROLS] (y: Business)"}`
+	w := postJSON(t, s.Handler(), "/query", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 1 {
+		t.Fatalf("total = %d: %s", resp.Total, w.Body.String())
+	}
+	for _, c := range resp.Columns {
+		if c == "v" {
+			t.Fatalf("absent property surfaced as column: %v", resp.Columns)
+		}
+	}
+	// Second request is served from the cache, byte-identical.
+	w2 := postJSON(t, s.Handler(), "/query", body)
+	if got := w2.Header().Get("X-KG-Cache"); got != "hit" {
+		t.Fatalf("X-KG-Cache = %q, want hit", got)
+	}
+	if w2.Body.String() != w.Body.String() {
+		t.Fatal("fallback result not cached bit-identically")
+	}
+}

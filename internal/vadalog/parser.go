@@ -84,11 +84,18 @@ scan:
 			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
 				l.pos++
 			}
-			if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
-				l.pos++
-				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
-					l.pos++
-				}
+		}
+		// An exponent may follow either form (1e+06 as well as 1.5e7 —
+		// strconv's shortest float rendering uses the former), but only
+		// when digits actually follow; a bare trailing 'e' stays an
+		// identifier token.
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				l.pos = j
 				for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
 					l.pos++
 				}

@@ -1,0 +1,130 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fingraph"
+	"repro/internal/server"
+	"repro/internal/supermodel"
+)
+
+// TestServePipeline is the top-level serving pipeline: the Figure 4 design
+// drives validation while the generated Company KG instance is served over
+// a real listener — generate → load → freeze → query → validate → reload →
+// query, the deployment loop of DESIGN.md §11. It complements
+// TestFullLifecycle: same methodology, consumed through the HTTP surface
+// instead of the library one.
+func TestServePipeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "companykg.json")
+	topo := fingraph.GenerateTopology(fingraph.DefaultConfig(30, 5))
+	g := topo.CompanyKG()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Source:    path,
+		Schema:    supermodel.CompanyKG(),
+		CacheSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != http.ErrServerClosed {
+			t.Errorf("serve returned %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+
+	post := func(p, body string) (int, []byte) {
+		resp, err := http.Post(base+p, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	// The generated instance conforms to the design it was generated from —
+	// the schema round trip of the methodology, checked over the network.
+	code, vbody := post("/validate", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("validate %d: %s", code, vbody)
+	}
+	var v struct {
+		Conforms bool `json:"conforms"`
+		Count    int  `json:"count"`
+	}
+	if err := json.Unmarshal(vbody, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conforms || v.Count != 0 {
+		t.Fatalf("generated Company KG instance should conform: %s", vbody)
+	}
+
+	// A Figure 4 navigational query: who holds shares of which business.
+	q := fmt.Sprintf(`{"query":%q}`, `(h: Person) [: HOLDS] (sh: Share; percentage: s) [: BELONGS_TO] (b: Business), s > 0.5`)
+	code, q1 := post("/query", q)
+	if code != http.StatusOK {
+		t.Fatalf("query %d: %s", code, q1)
+	}
+	var qr struct {
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(q1, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Total == 0 {
+		t.Fatal("expected majority holdings in the generated instance")
+	}
+
+	// Reload and re-query: the swap is invisible in the bytes.
+	if code, rbody := post("/reload", `{}`); code != http.StatusOK {
+		t.Fatalf("reload %d: %s", code, rbody)
+	}
+	if gen := srv.Generation(); gen != 2 {
+		t.Fatalf("generation = %d, want 2", gen)
+	}
+	code, q2 := post("/query", q)
+	if code != http.StatusOK {
+		t.Fatalf("query after reload %d: %s", code, q2)
+	}
+	if !bytes.Equal(q1, q2) {
+		t.Error("query response changed across snapshot swap of identical data")
+	}
+}
