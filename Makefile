@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve
+.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,8 @@ test-race: build
 # site left armed or a counter left dirty by the first pass fails the second.
 test-chaos: build
 	$(GO) test -count=2 -run 'TestChaos|TestStratum|TestShard|TestBestEffort|TestRetry|TestWriteSites|TestMaterializeFlushErrorRollsBack' ./internal/instance/ ./internal/vadalog/ ./internal/pg/ ./internal/fault/ ./internal/server/
+	$(GO) test -count=2 -run 'TestWriteFileFaultsLeaveNoPartialFile|TestOpenMmapFaultFallsBack' ./internal/snapfile/
+	$(GO) test -count=2 -run 'TestReloadCorruptSnapshotKeepsServing|TestSnapshotMmapFaultStillServes' ./internal/server/
 
 # fuzz-smoke gives each parser fuzz target a short budget — enough to shake
 # out regressions in the corpus without turning CI into a fuzzing farm.
@@ -41,11 +43,13 @@ fuzz-smoke: build
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/gsl/
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/vadalog/
 	$(GO) test -fuzz '^FuzzDecodeQuery$$' -fuzztime 10s -run '^$$' ./internal/server/
+	$(GO) test -fuzz '^FuzzOpenSnapshot$$' -fuzztime 10s -run '^$$' ./internal/snapfile/
 
-# cover enforces the per-package coverage floor on the serving layer: the
-# newest subsystem carries the strictest gate (70% of statements) so its
-# suite cannot silently rot. The profile is written to a temp file and
-# removed; only the threshold check is CI-visible.
+# cover enforces the per-package coverage floors on the newest subsystems —
+# the serving layer and the on-disk snapshot format both carry the strictest
+# gate (70% of statements) so their suites cannot silently rot. Profiles are
+# written to temp files and removed; only the threshold checks are
+# CI-visible.
 cover: build
 	@$(GO) test -coverprofile=cover_server.out ./internal/server/
 	@total=$$($(GO) tool cover -func=cover_server.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
@@ -53,6 +57,12 @@ cover: build
 	echo "internal/server coverage: $$total% (floor 70%)"; \
 	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
 	{ echo "FAIL: internal/server coverage $$total% is below the 70% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover_snapfile.out ./internal/snapfile/
+	@total=$$($(GO) tool cover -func=cover_snapfile.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover_snapfile.out; \
+	echo "internal/snapfile coverage: $$total% (floor 70%)"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
+	{ echo "FAIL: internal/snapfile coverage $$total% is below the 70% floor"; exit 1; }
 
 # check is the tier-1 gate: vet + full suite, the race-detector pass, the
 # chaos sweep, the fuzz smoke test, and the coverage floor.
@@ -83,3 +93,14 @@ bench-serve: build
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 200x -benchmem ./internal/server/ | tee BENCH_serve.txt
 	$(GO) run ./cmd/benchjson < BENCH_serve.txt > BENCH_serve.json
 	rm -f BENCH_serve.txt
+
+# bench-snapshot captures the E21 cold-start benchmarks (EXPERIMENTS.md) —
+# parse+freeze of the E19 reference JSON versus snapfile.Open of the same
+# graph (validation-only, and with the lazy facade forced), plus the encode
+# path — into BENCH_snapshot.json via cmd/benchjson. The acceptance target
+# is snapfile-open at least 50x faster than parse-freeze; the committed
+# file is the baseline, regenerate on comparable hardware before comparing.
+bench-snapshot: build
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshot' -benchtime 2s -benchmem ./internal/snapfile/ | tee BENCH_snapshot.txt
+	$(GO) run ./cmd/benchjson < BENCH_snapshot.txt > BENCH_snapshot.json
+	rm -f BENCH_snapshot.txt

@@ -8,6 +8,7 @@
 //	kggen -companies 10000 -seed 42 -mode shareholding -out graph.json
 //	kggen -companies 1000 -mode kg -out kg.json
 //	kggen -companies 1000 -mode shareholding -csv-prefix out/   # nodes/edges CSV
+//	kggen -companies 1000 -snap kg.snap   # binary snapshot for kgserve -snapshot
 package main
 
 import (
@@ -15,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/fingraph"
 	"repro/internal/pg"
+	"repro/internal/snapfile"
 )
 
 func main() {
@@ -25,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	mode := flag.String("mode", "shareholding", "shareholding (simple OWNS graph) or kg (full Figure 4 instance)")
 	out := flag.String("out", "", "write the graph as JSON to this file (default stdout)")
+	snap := flag.String("snap", "", "write the frozen graph as a binary snapshot to this file (see internal/snapfile)")
 	csvPrefix := flag.String("csv-prefix", "", "also write <prefix>nodes.csv and <prefix>edges.csv")
 	flag.Parse()
 
@@ -41,17 +45,39 @@ func main() {
 	fmt.Fprintf(os.Stderr, "kggen: %d nodes, %d edges (%d companies, %d persons, %d stakes)\n",
 		g.NumNodes(), g.NumEdges(), topo.Companies, topo.Persons, len(topo.Stakes))
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *snap != "" {
+		info := snapfile.BuildInfo{
+			Tool:        "kggen",
+			Source:      "fingraph/" + *mode,
+			CreatedUnix: time.Now().Unix(),
+			Params: map[string]string{
+				"companies": fmt.Sprint(*companies),
+				"seed":      fmt.Sprint(*seed),
+				"mode":      *mode,
+			},
+		}
+		size, err := snapfile.WriteFile(*snap, g.Freeze(), info)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		fmt.Fprintf(os.Stderr, "kggen: wrote snapshot %s (%d bytes)\n", *snap, size)
 	}
-	if err := g.WriteJSON(w); err != nil {
-		fatal(err)
+
+	// JSON goes to stdout by default, but not when only a snapshot was
+	// requested.
+	if *out != "" || *snap == "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := g.WriteJSON(w); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *csvPrefix != "" {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	kgserve -in kg.json -addr :8080
+//	kgserve -snapshot kg.snap -addr :8080   # mmap cold-start (see kgsnap)
 //	kgserve -in kg.json -companykg -cache 1024 -inflight 16 -debug
 //
 // Endpoints:
@@ -15,7 +16,8 @@
 //	GET  /stats     §2.1 topological statistics of the snapshot
 //	POST /validate  {"strategy": "multi-label"} (needs -schema/-companykg)
 //	GET  /schema    catalog layout (+ GSL design when configured)
-//	POST /reload    {"path": "other.json"} — atomic snapshot swap
+//	POST /reload    {"path": "other.json"} — atomic generation swap; the
+//	                path may also be a binary .snap file (sniffed by magic)
 //
 // With -debug, /debug/vars, /debug/pprof and /debug/latency are mounted.
 package main
@@ -38,6 +40,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "property graph JSON to serve")
+	snapshotPath := flag.String("snapshot", "", "binary snapshot file to serve (see kgsnap); mmap cold-start instead of parse+freeze")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	schemaFile := flag.String("schema", "", "GSL design file enabling /validate")
 	companyKG := flag.Bool("companykg", false, "use the built-in Company KG design for /validate")
@@ -59,8 +62,16 @@ func main() {
 	if done {
 		return
 	}
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "kgserve: need -in <graph.json>")
+	if *in != "" && *snapshotPath != "" {
+		fmt.Fprintln(os.Stderr, "kgserve: -in and -snapshot are mutually exclusive")
+		os.Exit(2)
+	}
+	source := *in
+	if *snapshotPath != "" {
+		source = *snapshotPath
+	}
+	if source == "" {
+		fmt.Fprintln(os.Stderr, "kgserve: need -in <graph.json> or -snapshot <graph.snap>")
 		os.Exit(2)
 	}
 
@@ -79,7 +90,7 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Source:        *in,
+		Source:        source,
 		Schema:        schema,
 		Strategy:      *strategy,
 		MaxInflight:   *inflight,

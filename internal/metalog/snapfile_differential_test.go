@@ -1,0 +1,62 @@
+package metalog
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/snapfile"
+	"repro/internal/vadalog"
+)
+
+// TestSnapfileDifferentialSweep extends the frozen differential sweep one
+// layer down: the same >100 generated queries, now against a view
+// reconstructed from the on-disk snapshot format (mmap-backed where the
+// platform allows), must return rows byte-identical to the mutable graph.
+// This is the acceptance gate for the persistence layer — a snapfile round
+// trip is a drop-in View, not an approximation.
+func TestSnapfileDifferentialSweep(t *testing.T) {
+	dir := t.TempDir()
+	queries := 0
+	for seed := int64(0); seed < 10; seed++ {
+		g := diffGraph(rand.New(rand.NewSource(seed)))
+		path := filepath.Join(dir, "sweep.snap")
+		if _, err := snapfile.WriteFile(path, g.Freeze(), snapfile.BuildInfo{Tool: "sweep"}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		snap, err := snapfile.Open(path)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		f := snap.Frozen
+
+		if gc, fc := FromGraph(g), FromGraph(f); !reflect.DeepEqual(gc, fc) {
+			snap.Close()
+			t.Fatalf("seed %d: catalogs diverge:\n%v\n%v", seed, gc, fc)
+		}
+		for _, q := range diffQueries {
+			queries++
+			mrows, merr := Query(g, q, vadalog.Options{})
+			frows, ferr := Query(f, q, vadalog.Options{})
+			if (merr == nil) != (ferr == nil) {
+				snap.Close()
+				t.Fatalf("seed %d, query %q: error mismatch: %v vs %v", seed, q, merr, ferr)
+			}
+			if merr != nil {
+				snap.Close()
+				t.Fatalf("seed %d, query %q: %v", seed, q, merr)
+			}
+			if m, fr := renderRows(mrows), renderRows(frows); m != fr {
+				snap.Close()
+				t.Fatalf("seed %d, query %q: rows diverge:\nmutable:\n%s\nsnapfile:\n%s", seed, q, m, fr)
+			}
+		}
+		if err := snap.Close(); err != nil {
+			t.Fatalf("seed %d: close: %v", seed, err)
+		}
+	}
+	if queries < 100 {
+		t.Fatalf("sweep ran only %d queries; the acceptance gate requires >= 100", queries)
+	}
+}

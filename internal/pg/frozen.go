@@ -15,6 +15,7 @@ package pg
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/symtab"
 	"repro/internal/value"
@@ -54,18 +55,33 @@ type Frozen struct {
 	inOff  []int32
 	inAdj  []*Edge
 
+	// outAdjRows/inAdjRows are the adjacency arrays as edge row indices —
+	// the columnar form FrozenFromColumns receives. They are retained only
+	// on the lazy path (nil after Freeze) so the pointer facade can be
+	// materialized on first use without revisiting the source columns.
+	outAdjRows []int32
+	inAdjRows  []int32
+
 	// Facade: pointer structs over the columns, so readers written against
 	// Graph's method set work unchanged. Label string slices share one
 	// backing array; property maps are materialized per construct.
-	nodes   []*Node
-	edges   []*Edge
-	nodeRow map[OID]int32
-	edgeRow map[OID]int32
+	//
+	// Freeze builds the facade eagerly. FrozenFromColumns — the open path
+	// of an on-disk snapshot, where cold-start latency is the budget —
+	// validates every structural invariant eagerly but defers the facade
+	// allocations (pointer rows, property maps, label indexes) to the
+	// first call that needs them, guarded by facadeOnce. Column-only
+	// reads (counts, degrees, NodeProp/EdgeProp) never pay for it.
+	nodes []*Node
+	edges []*Edge
 
 	byLabel        map[symtab.Sym][]*Node
 	byEdgeLabel    map[symtab.Sym][]*Edge
 	nodeLabelNames []string // sorted
 	edgeLabelNames []string // sorted
+
+	lazyFacade bool // set (before publication) by FrozenFromColumns
+	facadeOnce sync.Once
 }
 
 // Freeze snapshots the graph into its immutable frozen form. The snapshot
@@ -78,11 +94,7 @@ type Frozen struct {
 // in sorted order, so two graphs with equal content freeze to snapshots
 // with identical symbol tables.
 func (g *Graph) Freeze() *Frozen {
-	f := &Frozen{
-		syms:    symtab.New(),
-		nodeRow: make(map[OID]int32, len(g.nodes)),
-		edgeRow: make(map[OID]int32, len(g.edges)),
-	}
+	f := &Frozen{syms: symtab.New()}
 
 	// Intern every name in sorted order: node labels, edge labels, then
 	// property keys. Sorted interning makes Sym order match lexicographic
@@ -134,7 +146,6 @@ func (f *Frozen) freezeNodes(g *Graph) {
 	labelStrings := make([]string, 0, len(srcNodes))
 	for i, n := range srcNodes {
 		f.nodeOIDs[i] = n.ID
-		f.nodeRow[n.ID] = int32(i)
 		for _, l := range n.Labels { // already sorted unique
 			f.nodeLabels = append(f.nodeLabels, f.sym(l))
 			labelStrings = append(labelStrings, l)
@@ -166,7 +177,6 @@ func (f *Frozen) freezeEdges(g *Graph) {
 	f.edges = make([]*Edge, len(srcEdges))
 	for i, e := range srcEdges {
 		f.edgeOIDs[i] = e.ID
-		f.edgeRow[e.ID] = int32(i)
 		f.edgeLabel[i] = f.sym(e.Label)
 		f.edgeFrom[i] = e.From
 		f.edgeTo[i] = e.To
@@ -234,12 +244,14 @@ func (f *Frozen) buildLabelIndexes() {
 // pass, a prefix sum, and a fill pass in ascending edge-OID order, so each
 // node's window is sorted by edge OID like Graph.Out/In.
 func (f *Frozen) buildAdjacency() {
-	n := len(f.nodes)
+	n := len(f.nodeOIDs)
 	f.outOff = make([]int32, n+1)
 	f.inOff = make([]int32, n+1)
 	for i := range f.edges {
-		f.outOff[f.nodeRow[f.edgeFrom[i]]+1]++
-		f.inOff[f.nodeRow[f.edgeTo[i]]+1]++
+		fr, _ := rowOf(f.nodeOIDs, f.edgeFrom[i]) // endpoints exist: Graph enforced it
+		to, _ := rowOf(f.nodeOIDs, f.edgeTo[i])
+		f.outOff[fr+1]++
+		f.inOff[to+1]++
 	}
 	for i := 0; i < n; i++ {
 		f.outOff[i+1] += f.outOff[i]
@@ -252,24 +264,55 @@ func (f *Frozen) buildAdjacency() {
 	copy(outNext, f.outOff[:n])
 	copy(inNext, f.inOff[:n])
 	for i, e := range f.edges {
-		fr := f.nodeRow[f.edgeFrom[i]]
+		fr, _ := rowOf(f.nodeOIDs, f.edgeFrom[i])
 		f.outAdj[outNext[fr]] = e
 		outNext[fr]++
-		to := f.nodeRow[f.edgeTo[i]]
+		to, _ := rowOf(f.nodeOIDs, f.edgeTo[i])
 		f.inAdj[inNext[to]] = e
 		inNext[to]++
 	}
 }
 
+// rowOf binary-searches an ascending OID column for id, returning the row
+// index. This replaces the old OID→row hash maps: the columns are sorted by
+// construction (Freeze) or by validation (FrozenFromColumns), lookup is
+// O(log n) with no per-snapshot index to build — which keeps row resolution
+// available before the facade is materialized.
+func rowOf(oids []OID, id OID) (int32, bool) {
+	lo, hi := 0, len(oids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if oids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(oids) && oids[lo] == id {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
+// facade materializes the deferred pointer facade of a column-built
+// snapshot. Freeze-built snapshots carry it already; for them this is a
+// single predictable branch.
+func (f *Frozen) facade() {
+	if f.lazyFacade {
+		f.facadeOnce.Do(f.materializeFacade)
+	}
+}
+
 // NumNodes returns the number of nodes.
-func (f *Frozen) NumNodes() int { return len(f.nodes) }
+func (f *Frozen) NumNodes() int { return len(f.nodeOIDs) }
 
 // NumEdges returns the number of edges.
-func (f *Frozen) NumEdges() int { return len(f.edges) }
+func (f *Frozen) NumEdges() int { return len(f.edgeOIDs) }
 
 // Node returns the node with the given OID, or nil.
 func (f *Frozen) Node(id OID) *Node {
-	if row, ok := f.nodeRow[id]; ok {
+	if row, ok := rowOf(f.nodeOIDs, id); ok {
+		f.facade()
 		return f.nodes[row]
 	}
 	return nil
@@ -277,22 +320,30 @@ func (f *Frozen) Node(id OID) *Node {
 
 // Edge returns the edge with the given OID, or nil.
 func (f *Frozen) Edge(id OID) *Edge {
-	if row, ok := f.edgeRow[id]; ok {
+	if row, ok := rowOf(f.edgeOIDs, id); ok {
+		f.facade()
 		return f.edges[row]
 	}
 	return nil
 }
 
 // Nodes returns all nodes in ascending OID order. The slice is shared.
-func (f *Frozen) Nodes() []*Node { return f.nodes }
+func (f *Frozen) Nodes() []*Node {
+	f.facade()
+	return f.nodes
+}
 
 // Edges returns all edges in ascending OID order. The slice is shared.
-func (f *Frozen) Edges() []*Edge { return f.edges }
+func (f *Frozen) Edges() []*Edge {
+	f.facade()
+	return f.edges
+}
 
 // NodesByLabel returns the nodes carrying the label, in OID order. The
 // slice is shared and returned without copying.
 func (f *Frozen) NodesByLabel(label string) []*Node {
 	if sym, ok := f.syms.Lookup(label); ok {
+		f.facade()
 		return f.byLabel[sym]
 	}
 	return nil
@@ -302,6 +353,7 @@ func (f *Frozen) NodesByLabel(label string) []*Node {
 // slice is shared and returned without copying.
 func (f *Frozen) EdgesByLabel(label string) []*Edge {
 	if sym, ok := f.syms.Lookup(label); ok {
+		f.facade()
 		return f.byEdgeLabel[sym]
 	}
 	return nil
@@ -310,7 +362,8 @@ func (f *Frozen) EdgesByLabel(label string) []*Edge {
 // Out returns the outgoing edges of a node in edge-OID order: a shared
 // window of the CSR adjacency array, with no per-call allocation.
 func (f *Frozen) Out(id OID) []*Edge {
-	if row, ok := f.nodeRow[id]; ok {
+	if row, ok := rowOf(f.nodeOIDs, id); ok {
+		f.facade()
 		return f.outAdj[f.outOff[row]:f.outOff[row+1]:f.outOff[row+1]]
 	}
 	return nil
@@ -319,15 +372,17 @@ func (f *Frozen) Out(id OID) []*Edge {
 // In returns the incoming edges of a node in edge-OID order, as a shared
 // CSR window.
 func (f *Frozen) In(id OID) []*Edge {
-	if row, ok := f.nodeRow[id]; ok {
+	if row, ok := rowOf(f.nodeOIDs, id); ok {
+		f.facade()
 		return f.inAdj[f.inOff[row]:f.inOff[row+1]:f.inOff[row+1]]
 	}
 	return nil
 }
 
-// OutDegree returns the number of outgoing edges of a node.
+// OutDegree returns the number of outgoing edges of a node. It reads only
+// the CSR offsets, so it never forces facade materialization.
 func (f *Frozen) OutDegree(id OID) int {
-	if row, ok := f.nodeRow[id]; ok {
+	if row, ok := rowOf(f.nodeOIDs, id); ok {
 		return int(f.outOff[row+1] - f.outOff[row])
 	}
 	return 0
@@ -335,17 +390,23 @@ func (f *Frozen) OutDegree(id OID) int {
 
 // InDegree returns the number of incoming edges of a node.
 func (f *Frozen) InDegree(id OID) int {
-	if row, ok := f.nodeRow[id]; ok {
+	if row, ok := rowOf(f.nodeOIDs, id); ok {
 		return int(f.inOff[row+1] - f.inOff[row])
 	}
 	return 0
 }
 
 // NodeLabels returns every node label present, sorted. The slice is shared.
-func (f *Frozen) NodeLabels() []string { return f.nodeLabelNames }
+func (f *Frozen) NodeLabels() []string {
+	f.facade()
+	return f.nodeLabelNames
+}
 
 // EdgeLabels returns every edge label present, sorted. The slice is shared.
-func (f *Frozen) EdgeLabels() []string { return f.edgeLabelNames }
+func (f *Frozen) EdgeLabels() []string {
+	f.facade()
+	return f.edgeLabelNames
+}
 
 // Symbols exposes the snapshot's interned name table: labels first (node
 // then edge, each sorted), then property keys (sorted). The table must not
@@ -353,10 +414,10 @@ func (f *Frozen) EdgeLabels() []string { return f.edgeLabelNames }
 func (f *Frozen) Symbols() *symtab.Table { return f.syms }
 
 // NodeProp reads one node property from the columnar storage without
-// touching the facade map: a binary search over the node's key-symbol
-// window. It reports false for an absent node or key.
+// touching the facade: a binary search over the node's key-symbol window.
+// It reports false for an absent node or key.
 func (f *Frozen) NodeProp(id OID, key string) (value.Value, bool) {
-	row, ok := f.nodeRow[id]
+	row, ok := rowOf(f.nodeOIDs, id)
 	if !ok {
 		return value.Value{}, false
 	}
@@ -365,7 +426,7 @@ func (f *Frozen) NodeProp(id OID, key string) (value.Value, bool) {
 
 // EdgeProp reads one edge property from the columnar storage.
 func (f *Frozen) EdgeProp(id OID, key string) (value.Value, bool) {
-	row, ok := f.edgeRow[id]
+	row, ok := rowOf(f.edgeOIDs, id)
 	if !ok {
 		return value.Value{}, false
 	}
@@ -391,6 +452,7 @@ func (f *Frozen) propAt(keys []symtab.Sym, vals []value.Value, off []int32, row 
 // has the same nodes, edges, labels and properties as g (the OID allocator
 // resumes past the highest OID present).
 func (f *Frozen) Thaw() *Graph {
+	f.facade()
 	g := New()
 	for _, n := range f.nodes {
 		if _, err := g.AddNodeWithID(n.ID, n.Labels, n.Props); err != nil {

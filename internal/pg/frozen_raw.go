@@ -1,0 +1,367 @@
+package pg
+
+// Columnar export/import of Frozen snapshots. Columns is the wire image of
+// a snapshot — exactly the arrays Freeze builds, with the pointer facade
+// flattened away (adjacency as edge row indices, the symbol table as its
+// name listing). It is the boundary between the storage layer and the
+// on-disk snapshot format (internal/snapfile): Columns carries no pg
+// internals, so the file format can evolve without reaching into Frozen,
+// and FrozenFromColumns re-validates every structural invariant before the
+// arrays are trusted, so a decoded file can never hand out a snapshot that
+// violates the View contract.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/symtab"
+	"repro/internal/value"
+)
+
+// Columns is the columnar image of a Frozen snapshot: the symbol table as
+// its ordered name listing, the node/edge columns, and the CSR adjacency
+// with edges referred to by row index instead of pointer. Slices returned
+// by Frozen.Columns are shared with the snapshot and must not be modified.
+type Columns struct {
+	// SymNames lists the interned names in symbol order: SymNames[i] is
+	// the string of symtab.Sym(i+1).
+	SymNames []string
+
+	// Node columns, ascending OID order. Row i's labels are
+	// NodeLabels[NodeLabelOff[i]:NodeLabelOff[i+1]] and its properties the
+	// matching window of NodePropKeys/NodePropVals, ascending by symbol.
+	NodeOIDs     []OID
+	NodeLabelOff []int32
+	NodeLabels   []symtab.Sym
+	NodePropOff  []int32
+	NodePropKeys []symtab.Sym
+	NodePropVals []value.Value
+
+	// Edge columns, ascending OID order.
+	EdgeOIDs     []OID
+	EdgeLabels   []symtab.Sym
+	EdgeFrom     []OID
+	EdgeTo       []OID
+	EdgePropOff  []int32
+	EdgePropKeys []symtab.Sym
+	EdgePropVals []value.Value
+
+	// CSR adjacency: node row i's outgoing edges are the edge rows
+	// OutAdj[OutOff[i]:OutOff[i+1]], ascending; InOff/InAdj mirror for
+	// incoming edges.
+	OutOff []int32
+	OutAdj []int32
+	InOff  []int32
+	InAdj  []int32
+}
+
+// Columns exports the snapshot's columnar arrays. The symbol listing and
+// the numeric columns are shared with f; the adjacency index arrays are
+// freshly built from the pointer CSR.
+func (f *Frozen) Columns() Columns {
+	c := Columns{
+		SymNames:     f.syms.Names(),
+		NodeOIDs:     f.nodeOIDs,
+		NodeLabelOff: f.nodeLabelOff,
+		NodeLabels:   f.nodeLabels,
+		NodePropOff:  f.nodePropOff,
+		NodePropKeys: f.nodePropKeys,
+		NodePropVals: f.nodePropVals,
+		EdgeOIDs:     f.edgeOIDs,
+		EdgeLabels:   f.edgeLabel,
+		EdgeFrom:     f.edgeFrom,
+		EdgeTo:       f.edgeTo,
+		EdgePropOff:  f.edgePropOff,
+		EdgePropKeys: f.edgePropKeys,
+		EdgePropVals: f.edgePropVals,
+		OutOff:       f.outOff,
+		InOff:        f.inOff,
+	}
+	if f.outAdjRows != nil {
+		// Column-built snapshot: the row-index adjacency is retained
+		// verbatim, so exporting needs no facade and no resolution.
+		c.OutAdj, c.InAdj = f.outAdjRows, f.inAdjRows
+		return c
+	}
+	f.facade()
+	c.OutAdj = make([]int32, len(f.outAdj))
+	for i, e := range f.outAdj {
+		row, _ := rowOf(f.edgeOIDs, e.ID) // facade edges exist by construction
+		c.OutAdj[i] = row
+	}
+	c.InAdj = make([]int32, len(f.inAdj))
+	for i, e := range f.inAdj {
+		row, _ := rowOf(f.edgeOIDs, e.ID)
+		c.InAdj[i] = row
+	}
+	return c
+}
+
+// FrozenFromColumns rebuilds a Frozen snapshot from its columnar image,
+// validating every structural invariant of the layout before any array is
+// trusted: offset monotonicity, symbol ranges, per-row ordering, OID
+// ordering, endpoint existence, and full CSR/edge-column agreement. The
+// input slices are retained by the snapshot (they may be windows of an
+// mmapped file).
+//
+// Validation is eager and allocation-free — O(nodes+edges) comparisons,
+// binary searches instead of hash maps — so a corrupt column set is
+// rejected here, never at query time. The pointer facade (Node/Edge
+// structs, property maps, label indexes) is NOT built here: it
+// materializes once, on the first read that needs it. That split is what
+// makes snapshot cold-start cheap — opening a file costs checksums plus
+// these checks, not a heap reconstruction of the whole graph.
+func FrozenFromColumns(c Columns) (*Frozen, error) {
+	syms, err := symtab.FromNames(c.SymNames)
+	if err != nil {
+		return nil, err
+	}
+	n, m := len(c.NodeOIDs), len(c.EdgeOIDs)
+	nSyms := len(c.SymNames)
+
+	if err := checkOffsets("node label", c.NodeLabelOff, n, len(c.NodeLabels)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("node property", c.NodePropOff, n, len(c.NodePropKeys)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("edge property", c.EdgePropOff, m, len(c.EdgePropKeys)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("out adjacency", c.OutOff, n, len(c.OutAdj)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("in adjacency", c.InOff, n, len(c.InAdj)); err != nil {
+		return nil, err
+	}
+	if len(c.NodePropVals) != len(c.NodePropKeys) || len(c.EdgePropVals) != len(c.EdgePropKeys) {
+		return nil, fmt.Errorf("pg: property key and value columns disagree")
+	}
+	if len(c.EdgeLabels) != m || len(c.EdgeFrom) != m || len(c.EdgeTo) != m {
+		return nil, fmt.Errorf("pg: edge columns disagree on edge count")
+	}
+	if len(c.OutAdj) != m || len(c.InAdj) != m {
+		return nil, fmt.Errorf("pg: adjacency holds %d/%d entries, want %d", len(c.OutAdj), len(c.InAdj), m)
+	}
+	for _, s := range c.NodeLabels {
+		if s == symtab.None || int(s) > nSyms {
+			return nil, fmt.Errorf("pg: node label symbol %d out of range", s)
+		}
+	}
+	for _, s := range c.EdgeLabels {
+		if s == symtab.None || int(s) > nSyms {
+			return nil, fmt.Errorf("pg: edge label symbol %d out of range", s)
+		}
+	}
+	for _, col := range [][]symtab.Sym{c.NodePropKeys, c.EdgePropKeys} {
+		for _, s := range col {
+			if s == symtab.None || int(s) > nSyms {
+				return nil, fmt.Errorf("pg: property key symbol %d out of range", s)
+			}
+		}
+	}
+
+	// OIDs must be strictly ascending: the View iteration contract and the
+	// precondition of every binary search over rows.
+	for i := 1; i < n; i++ {
+		if c.NodeOIDs[i] <= c.NodeOIDs[i-1] {
+			return nil, fmt.Errorf("pg: node OIDs not strictly ascending at row %d", i)
+		}
+	}
+	for i := 1; i < m; i++ {
+		if c.EdgeOIDs[i] <= c.EdgeOIDs[i-1] {
+			return nil, fmt.Errorf("pg: edge OIDs not strictly ascending at row %d", i)
+		}
+	}
+
+	// Per-row labels must be strictly ascending by name (Node.HasLabel
+	// binary-searches) and property keys strictly ascending by symbol
+	// (Frozen.propAt binary-searches; this also excludes duplicate keys).
+	for i := 0; i < n; i++ {
+		for p := c.NodeLabelOff[i] + 1; p < c.NodeLabelOff[i+1]; p++ {
+			if syms.Name(c.NodeLabels[p-1]) >= syms.Name(c.NodeLabels[p]) {
+				return nil, fmt.Errorf("pg: node row %d labels not strictly ascending", i)
+			}
+		}
+		for p := c.NodePropOff[i] + 1; p < c.NodePropOff[i+1]; p++ {
+			if c.NodePropKeys[p-1] >= c.NodePropKeys[p] {
+				return nil, fmt.Errorf("pg: node row %d: property keys not strictly ascending", i)
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for p := c.EdgePropOff[i] + 1; p < c.EdgePropOff[i+1]; p++ {
+			if c.EdgePropKeys[p-1] >= c.EdgePropKeys[p] {
+				return nil, fmt.Errorf("pg: edge row %d: property keys not strictly ascending", i)
+			}
+		}
+	}
+
+	// Endpoints must resolve to node rows.
+	for i := 0; i < m; i++ {
+		if _, ok := rowOf(c.NodeOIDs, c.EdgeFrom[i]); !ok {
+			return nil, fmt.Errorf("pg: edge row %d source %d is not a node", i, c.EdgeFrom[i])
+		}
+		if _, ok := rowOf(c.NodeOIDs, c.EdgeTo[i]); !ok {
+			return nil, fmt.Errorf("pg: edge row %d target %d is not a node", i, c.EdgeTo[i])
+		}
+	}
+
+	// CSR adjacency: every window must agree with the edge endpoint
+	// columns and stay in ascending edge-row order (= ascending edge OID,
+	// the Out/In contract). Ownership is a direct column comparison — the
+	// source of edge row r is node row i iff EdgeFrom[r] == NodeOIDs[i].
+	for i := 0; i < n; i++ {
+		for p := c.OutOff[i]; p < c.OutOff[i+1]; p++ {
+			row := c.OutAdj[p]
+			if row < 0 || int(row) >= m {
+				return nil, fmt.Errorf("pg: out adjacency entry %d out of range", row)
+			}
+			if c.EdgeFrom[row] != c.NodeOIDs[i] {
+				return nil, fmt.Errorf("pg: out adjacency of node row %d lists edge row %d with a different source", i, row)
+			}
+			if p > c.OutOff[i] && c.OutAdj[p-1] >= row {
+				return nil, fmt.Errorf("pg: out adjacency of node row %d not ascending", i)
+			}
+		}
+		for p := c.InOff[i]; p < c.InOff[i+1]; p++ {
+			row := c.InAdj[p]
+			if row < 0 || int(row) >= m {
+				return nil, fmt.Errorf("pg: in adjacency entry %d out of range", row)
+			}
+			if c.EdgeTo[row] != c.NodeOIDs[i] {
+				return nil, fmt.Errorf("pg: in adjacency of node row %d lists edge row %d with a different target", i, row)
+			}
+			if p > c.InOff[i] && c.InAdj[p-1] >= row {
+				return nil, fmt.Errorf("pg: in adjacency of node row %d not ascending", i)
+			}
+		}
+	}
+
+	return &Frozen{
+		syms:         syms,
+		nodeOIDs:     c.NodeOIDs,
+		nodeLabelOff: c.NodeLabelOff,
+		nodeLabels:   c.NodeLabels,
+		nodePropOff:  c.NodePropOff,
+		nodePropKeys: c.NodePropKeys,
+		nodePropVals: c.NodePropVals,
+		edgeOIDs:     c.EdgeOIDs,
+		edgeLabel:    c.EdgeLabels,
+		edgeFrom:     c.EdgeFrom,
+		edgeTo:       c.EdgeTo,
+		edgePropOff:  c.EdgePropOff,
+		edgePropKeys: c.EdgePropKeys,
+		edgePropVals: c.EdgePropVals,
+		outOff:       c.OutOff,
+		inOff:        c.InOff,
+		outAdjRows:   c.OutAdj,
+		inAdjRows:    c.InAdj,
+		lazyFacade:   true,
+	}, nil
+}
+
+// materializeFacade builds the pointer facade of a column-built snapshot:
+// batch-allocated Node/Edge structs, per-row property maps, resolved
+// adjacency pointers, and the label indexes. It runs at most once per
+// snapshot (behind facadeOnce) and assumes FrozenFromColumns already
+// validated every invariant, so it performs no checks.
+func (f *Frozen) materializeFacade() {
+	n, m := len(f.nodeOIDs), len(f.edgeOIDs)
+
+	labelStrings := make([]string, len(f.nodeLabels))
+	for i, s := range f.nodeLabels {
+		labelStrings[i] = f.syms.Name(s)
+	}
+	nodeArr := make([]Node, n) // one allocation for all node structs
+	f.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		lo, hi := f.nodeLabelOff[i], f.nodeLabelOff[i+1]
+		var ls []string // nil when unlabeled, matching Freeze
+		if hi > lo {
+			ls = labelStrings[lo:hi:hi]
+		}
+		nodeArr[i] = Node{
+			ID:     f.nodeOIDs[i],
+			Labels: ls,
+			Props:  makeProps(f.syms, f.nodePropKeys, f.nodePropVals, f.nodePropOff[i], f.nodePropOff[i+1], false),
+		}
+		f.nodes[i] = &nodeArr[i]
+	}
+
+	edgeArr := make([]Edge, m)
+	f.edges = make([]*Edge, m)
+	for i := 0; i < m; i++ {
+		edgeArr[i] = Edge{
+			ID:    f.edgeOIDs[i],
+			Label: f.syms.Name(f.edgeLabel[i]),
+			From:  f.edgeFrom[i],
+			To:    f.edgeTo[i],
+			Props: makeProps(f.syms, f.edgePropKeys, f.edgePropVals, f.edgePropOff[i], f.edgePropOff[i+1], true),
+		}
+		f.edges[i] = &edgeArr[i]
+	}
+
+	f.outAdj = make([]*Edge, m)
+	for i, row := range f.outAdjRows {
+		f.outAdj[i] = f.edges[row]
+	}
+	f.inAdj = make([]*Edge, m)
+	for i, row := range f.inAdjRows {
+		f.inAdj[i] = f.edges[row]
+	}
+
+	f.buildLabelIndexes()
+	f.nodeLabelNames = collectLabelNames(f.syms, f.nodeLabels)
+	f.edgeLabelNames = collectLabelNames(f.syms, f.edgeLabel)
+}
+
+// checkOffsets validates one CSR offset column: rows+1 entries, starting at
+// 0, monotonically non-decreasing, ending exactly at the payload length.
+func checkOffsets(what string, off []int32, rows, payload int) error {
+	if len(off) != rows+1 {
+		return fmt.Errorf("pg: %s offsets hold %d entries, want %d", what, len(off), rows+1)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("pg: %s offsets start at %d, want 0", what, off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("pg: %s offsets decrease at row %d", what, i-1)
+		}
+	}
+	if int(off[rows]) != payload {
+		return fmt.Errorf("pg: %s offsets end at %d, want %d", what, off[rows], payload)
+	}
+	return nil
+}
+
+// makeProps materializes one row's facade property map from the columnar
+// window. Key ordering was validated by FrozenFromColumns. nilWhenEmpty
+// matches Freeze's facade: edges use nil for an empty map, nodes an empty
+// map.
+func makeProps(syms *symtab.Table, keys []symtab.Sym, vals []value.Value, lo, hi int32, nilWhenEmpty bool) Props {
+	if hi == lo && nilWhenEmpty {
+		return nil
+	}
+	props := make(Props, hi-lo)
+	for p := lo; p < hi; p++ {
+		props[syms.Name(keys[p])] = vals[p]
+	}
+	return props
+}
+
+// collectLabelNames derives the sorted distinct label names of a label
+// column, mirroring Graph.NodeLabels/EdgeLabels on the frozen columns.
+func collectLabelNames(syms *symtab.Table, col []symtab.Sym) []string {
+	seen := make(map[symtab.Sym]bool)
+	names := make([]string, 0, 8)
+	for _, s := range col {
+		if !seen[s] {
+			seen[s] = true
+			names = append(names, syms.Name(s))
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/pg"
+	"repro/internal/snapfile"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
 	"repro/internal/value"
@@ -141,6 +142,16 @@ type snapshot struct {
 	frozen *pg.Frozen
 	cat    *metalog.Catalog
 	db     *vadalog.Database
+
+	// build is the provenance header of the snapshot file this generation
+	// was opened from; nil for JSON loads and in-memory graphs. Surfaced by
+	// /stats so an operator can tell which build a replica serves.
+	build *snapfile.BuildInfo
+	// file keeps an mmap-backed snapshot alive for the generation's whole
+	// lifetime (the frozen view's columns alias the mapping). It is never
+	// closed on swap: old readers may still drain, and the retired pages
+	// are reclaimable by the OS anyway.
+	file *snapfile.Snapshot
 
 	statsOnce sync.Once
 	statsJSON []byte
@@ -262,10 +273,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // buildFromPath loads a dictionary file (through the retry policy and the
-// server/load fault site) and builds its snapshot.
+// server/load fault site) and builds its snapshot. The file's first bytes
+// route it: a KGSNAP signature takes the binary snapshot fast path (mmap,
+// no freeze), anything else is parsed as property-graph JSON.
 func (s *Server) buildFromPath(path string) (*snapshot, error) {
 	if err := fault.Hit(siteLoad); err != nil {
 		return nil, err
+	}
+	if isSnapshotFile(path) {
+		sf, err := snapfile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading %s: %w", path, err)
+		}
+		sn, err := s.buildFromFrozen(sf.Frozen, &sf.Info)
+		if err != nil {
+			sf.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		sn.file = sf
+		return sn, nil
 	}
 	g, err := pg.ReadJSONRetry(func() (io.ReadCloser, error) { return os.Open(path) }, s.cfg.Retry)
 	if err != nil {
@@ -274,17 +300,33 @@ func (s *Server) buildFromPath(path string) (*snapshot, error) {
 	return s.buildSnapshot(g)
 }
 
-// buildSnapshot freezes a graph and precomputes the query substrate: the
-// inferred catalog and the extracted fact database shared (read-only) by
-// every query against this generation.
+// isSnapshotFile sniffs the snapfile magic without consuming the file.
+func isSnapshotFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [8]byte
+	n, _ := f.Read(hdr[:])
+	return snapfile.Sniff(hdr[:n])
+}
+
+// buildSnapshot freezes a graph and precomputes the query substrate.
 func (s *Server) buildSnapshot(g *pg.Graph) (*snapshot, error) {
-	frozen := g.Freeze()
+	return s.buildFromFrozen(g.Freeze(), nil)
+}
+
+// buildFromFrozen precomputes the query substrate over an existing frozen
+// view: the inferred catalog and the extracted fact database shared
+// (read-only) by every query against this generation.
+func (s *Server) buildFromFrozen(frozen *pg.Frozen, build *snapfile.BuildInfo) (*snapshot, error) {
 	cat := metalog.FromGraph(frozen)
 	db, err := metalog.ExtractFacts(frozen, cat)
 	if err != nil {
 		return nil, fmt.Errorf("server: extracting facts: %w", err)
 	}
-	return &snapshot{frozen: frozen, cat: cat, db: db}, nil
+	return &snapshot{frozen: frozen, cat: cat, db: db, build: build}, nil
 }
 
 // ReloadInfo describes a completed snapshot swap.
@@ -516,7 +558,17 @@ func (s *Server) handleStats(*http.Request) (*apiResult, *apiError) {
 	sn := s.current()
 	sn.statsOnce.Do(func() {
 		st := graphstats.Compute(sn.frozen)
-		b, err := json.MarshalIndent(st, "", "  ")
+		// Snapshot-file generations carry their provenance header; plain
+		// JSON generations marshal the bare stats, so existing outputs stay
+		// bit-identical.
+		var payload any = st
+		if sn.build != nil {
+			payload = struct {
+				Build *snapfile.BuildInfo `json:"build"`
+				graphstats.Stats
+			}{sn.build, st}
+		}
+		b, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			b = []byte(`{"error":"stats marshal failed"}`)
 		}

@@ -1,0 +1,138 @@
+package snapfile_test
+
+// Cold-start benchmarks (EXPERIMENTS.md E21): how fast a serving replica
+// reaches a queryable frozen view from disk. The baseline is the JSON
+// path — parse the dictionary, freeze it — and the contender is
+// snapfile.Open over the same graph: validate checksums, alias the mmapped
+// columns, rebuild only the pointer facade. Run via make bench-snapshot;
+// the committed BENCH_snapshot.json is the baseline. The acceptance target
+// is an Open at least 50x faster than parse+freeze on the E19 reference
+// shape (4096 companies + 4096 persons, 4 ownership edges per person).
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pg"
+	"repro/internal/snapfile"
+	"repro/internal/value"
+)
+
+// coldStartGraph is the E19 reference shape from the storage benchmarks.
+func coldStartGraph(n int) *pg.Graph {
+	g := pg.New()
+	companies := make([]pg.OID, n)
+	persons := make([]pg.OID, n)
+	for i := 0; i < n; i++ {
+		companies[i] = g.AddNode([]string{"Company"}, pg.Props{"name": value.Str("c")}).ID
+	}
+	for i := 0; i < n; i++ {
+		persons[i] = g.AddNode([]string{"Person"}, pg.Props{"name": value.Str("p")}).ID
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			g.MustAddEdge(persons[i], companies[(i*7+k*13)%n], "Owns", pg.Props{"w": value.FloatV(0.25)})
+		}
+	}
+	return g
+}
+
+func coldStartFixture(b *testing.B) (jsonPath, snapPath string) {
+	b.Helper()
+	dir := b.TempDir()
+	jsonPath = filepath.Join(dir, "e19.json")
+	snapPath = filepath.Join(dir, "e19.snap")
+	g := coldStartGraph(4096)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := snapfile.WriteFile(snapPath, g.Freeze(), snapfile.BuildInfo{Tool: "bench"}); err != nil {
+		b.Fatal(err)
+	}
+	return jsonPath, snapPath
+}
+
+// BenchmarkSnapshotColdStart/parse-freeze is the pre-snapshot cold start:
+// read and decode the JSON dictionary, then freeze it into the CSR view.
+// BenchmarkSnapshotColdStart/snapfile-open is the snapshot cold start over
+// identical data: checksums plus full structural validation, ending in a
+// servable pg.Frozen whose pointer facade materializes lazily on first
+// facade read. snapfile-open-facade additionally forces that
+// materialization (Nodes()), bounding the one-time cost the first query
+// pays after a swap.
+func BenchmarkSnapshotColdStart(b *testing.B) {
+	jsonPath, snapPath := coldStartFixture(b)
+
+	b.Run("parse-freeze", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(jsonPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := pg.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fz := g.Freeze(); fz.NumNodes() == 0 {
+				b.Fatal("empty freeze")
+			}
+		}
+	})
+
+	b.Run("snapfile-open", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, err := snapfile.Open(snapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap.Frozen.NumNodes() == 0 {
+				b.Fatal("empty snapshot")
+			}
+			if err := snap.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("snapfile-open-facade", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, err := snapfile.Open(snapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(snap.Frozen.Nodes()) == 0 { // forces facade materialization
+				b.Fatal("empty snapshot")
+			}
+			if err := snap.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotEncode measures the offline producer side: Encode plus
+// the atomic temp-file/fsync/rename publication.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	dir := b.TempDir()
+	f := coldStartGraph(4096).Freeze()
+	path := filepath.Join(dir, "e19.snap")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapfile.WriteFile(path, f, snapfile.BuildInfo{Tool: "bench"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snapfile
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("snapfile: mmap unsupported on this platform")
+}
+
+func munmap(b []byte) error { return nil }

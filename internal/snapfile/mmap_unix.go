@@ -1,0 +1,20 @@
+//go:build unix
+
+package snapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy read path; on unsupported platforms
+// Open goes straight to the copying loader.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so every replica
+// opening the same snapshot shares one page-cache copy.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,444 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+
+	"repro/internal/fault"
+	"repro/internal/pg"
+	"repro/internal/symtab"
+	"repro/internal/value"
+)
+
+// Snapshot is an opened snapshot file: the reconstructed frozen view plus
+// the provenance header. When Mapped reports true the view's columns alias
+// the memory-mapped file — the mapping must stay alive for as long as any
+// reader can touch the view, which is why Close is explicit and never
+// called implicitly (a serving process simply keeps retired mappings; the
+// page cache reclaims the memory, only address space is held).
+type Snapshot struct {
+	// Frozen is the reconstructed snapshot, a full pg.View.
+	Frozen *pg.Frozen
+	// Info is the provenance header stamped by the producer.
+	Info BuildInfo
+	// Path is the file the snapshot was opened from ("" for Decode).
+	Path string
+
+	mapped []byte // the mmap region backing Frozen, nil for copied loads
+}
+
+// Mapped reports whether the snapshot serves zero-copy from an mmapped
+// file (as opposed to a private heap copy).
+func (s *Snapshot) Mapped() bool { return s.mapped != nil }
+
+// Close releases the file mapping, if any. The caller must guarantee no
+// reader still uses the Frozen view: its columns alias the mapping and
+// become invalid the moment it is unmapped. Close on a copied snapshot is
+// a no-op. Close is not idempotent-safe for concurrent use.
+func (s *Snapshot) Close() error {
+	if s.mapped == nil {
+		return nil
+	}
+	m := s.mapped
+	s.mapped = nil
+	return munmap(m)
+}
+
+// Open opens and validates a snapshot file. It memory-maps the file and
+// reconstructs the view zero-copy; when mapping is unavailable (platform,
+// syscall failure, or an injected fault at snapfile/mmap) it falls back to
+// reading the file into memory with identical semantics. Validation —
+// magic, version, header and per-section checksums, then every structural
+// invariant — completes before any data is handed out: a malformed file
+// yields a typed error and no snapshot.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+
+	if mmapSupported && size > 0 && size == int64(int(size)) {
+		if err := fault.Hit(siteMmap); err == nil {
+			if data, merr := mmapFile(f, size); merr == nil {
+				snap, derr := decode(data, true)
+				if derr != nil {
+					munmap(data) //nolint:errcheck // already failing
+					return nil, fmt.Errorf("snapfile: %s: %w", path, derr)
+				}
+				snap.mapped = data
+				snap.Path = path
+				return snap, nil
+			}
+		}
+	}
+
+	// Copying loader: the snapshot owns a private heap buffer, so the
+	// columns may alias it without lifetime concerns.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := decode(data, true)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: %s: %w", path, err)
+	}
+	snap.Path = path
+	return snap, nil
+}
+
+// Decode reconstructs a snapshot from an in-memory image, copying every
+// column out of data: the caller remains free to reuse or mutate the
+// buffer afterwards. The validation pipeline is identical to Open's.
+func Decode(data []byte) (*Snapshot, error) {
+	return decode(data, false)
+}
+
+// hostLittleEndian gates the zero-copy reinterpretation of column bytes;
+// big-endian hosts always take the element-wise decoding path.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// sectionEntry is one parsed section-table row.
+type sectionEntry struct {
+	off uint64
+	len uint64
+	crc uint32
+}
+
+// decode runs the full validation pipeline over a snapshot image and
+// rebuilds the frozen view. With zeroCopy the numeric columns and string
+// bytes alias data; otherwise everything is copied.
+func decode(data []byte, zeroCopy bool) (*Snapshot, error) {
+	size := uint64(len(data))
+
+	// Magic. A file shorter than the signature that matches the prefix it
+	// does have is truncated; anything else is not a snapshot at all.
+	if !Sniff(data) {
+		n := len(data)
+		if n < len(Magic) && string(data[:n]) == Magic[:n] {
+			return nil, truncatedf("%d bytes is shorter than the signature", n)
+		}
+		return nil, ErrBadMagic
+	}
+	if size < minHeader {
+		return nil, truncatedf("%d bytes is shorter than the %d-byte header", size, minHeader)
+	}
+
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != Version {
+		return nil, fmt.Errorf("%w: file has version %d, reader supports %d", ErrBadVersion, version, Version)
+	}
+	hdrLen := uint64(binary.LittleEndian.Uint32(data[12:]))
+	switch {
+	case hdrLen < minHeader:
+		return nil, corruptf("header length %d below minimum %d", hdrLen, minHeader)
+	case hdrLen%8 != 0:
+		return nil, corruptf("header length %d not 8-byte aligned", hdrLen)
+	case hdrLen > size:
+		return nil, truncatedf("header length %d exceeds file size %d", hdrLen, size)
+	}
+	if got, want := crcOf(data[:hdrLen-4]), binary.LittleEndian.Uint32(data[hdrLen-4:]); got != want {
+		return nil, checksumf("header: computed %08x, stored %08x", got, want)
+	}
+	if flags := binary.LittleEndian.Uint64(data[16:]); flags != 0 {
+		return nil, corruptf("unknown flags %#x", flags)
+	}
+
+	nodes := binary.LittleEndian.Uint64(data[24:])
+	edges := binary.LittleEndian.Uint64(data[32:])
+	syms := binary.LittleEndian.Uint64(data[40:])
+	if nodes > math.MaxInt32 || edges > math.MaxInt32 || syms > math.MaxInt32 {
+		return nil, corruptf("counts out of range: %d nodes, %d edges, %d symbols", nodes, edges, syms)
+	}
+	n, m, s := int(nodes), int(edges), int(syms)
+
+	// Section table.
+	count := uint64(binary.LittleEndian.Uint32(data[48:]))
+	if count < numSections || count > maxSections {
+		return nil, corruptf("section count %d outside [%d, %d]", count, numSections, maxSections)
+	}
+	tableEnd := hdrLen + count*entryLen
+	if tableEnd > size {
+		return nil, truncatedf("section table ends at %d, file is %d bytes", tableEnd, size)
+	}
+	table := data[hdrLen:tableEnd]
+	if got, want := crcOf(table), binary.LittleEndian.Uint32(data[52:]); got != want {
+		return nil, checksumf("section table: computed %08x, stored %08x", got, want)
+	}
+
+	entries := make(map[uint32]sectionEntry, count)
+	maxEnd := tableEnd
+	for i := uint64(0); i < count; i++ {
+		rec := table[i*entryLen:]
+		id := binary.LittleEndian.Uint32(rec[0:])
+		if id == 0 {
+			return nil, corruptf("section table row %d has id 0", i)
+		}
+		if _, dup := entries[id]; dup {
+			return nil, corruptf("section %d appears twice in the table", id)
+		}
+		e := sectionEntry{
+			off: binary.LittleEndian.Uint64(rec[8:]),
+			len: binary.LittleEndian.Uint64(rec[16:]),
+			crc: binary.LittleEndian.Uint32(rec[24:]),
+		}
+		if e.off%8 != 0 {
+			return nil, corruptf("section %d offset %d not 8-byte aligned", id, e.off)
+		}
+		if e.off > size || e.len > size-e.off {
+			return nil, truncatedf("section %d spans [%d, %d+%d), file is %d bytes", id, e.off, e.off, e.len, size)
+		}
+		if e.len > 0 && e.off < tableEnd {
+			return nil, corruptf("section %d overlaps the header region", id)
+		}
+		if end := e.off + e.len; end > maxEnd {
+			maxEnd = end
+		}
+		entries[id] = e
+	}
+	if maxEnd != size {
+		return nil, corruptf("%d trailing bytes after the last section", size-maxEnd)
+	}
+
+	// Per-section payloads: presence, exact or element-multiple lengths,
+	// and checksums, before any content is interpreted.
+	sec := make(map[uint32][]byte, numSections)
+	for id := uint32(secBuildInfo); id <= numSections; id++ {
+		e, ok := entries[id]
+		if !ok {
+			return nil, corruptf("section %d missing", id)
+		}
+		p := data[e.off : e.off+e.len]
+		if got := crcOf(p); got != e.crc {
+			return nil, checksumf("section %d: computed %08x, stored %08x", id, got, e.crc)
+		}
+		sec[id] = p
+	}
+	type want struct {
+		id    uint32
+		bytes uint64
+		what  string
+	}
+	for _, w := range []want{
+		{secSymOff, uint64(s+1) * 4, "symbol offsets"},
+		{secNodeOIDs, uint64(n) * 8, "node OIDs"},
+		{secNodeLabelOff, uint64(n+1) * 4, "node label offsets"},
+		{secNodePropOff, uint64(n+1) * 4, "node property offsets"},
+		{secEdgeOIDs, uint64(m) * 8, "edge OIDs"},
+		{secEdgeLabels, uint64(m) * 4, "edge labels"},
+		{secEdgeFrom, uint64(m) * 8, "edge sources"},
+		{secEdgeTo, uint64(m) * 8, "edge targets"},
+		{secEdgePropOff, uint64(m+1) * 4, "edge property offsets"},
+		{secOutOff, uint64(n+1) * 4, "out-adjacency offsets"},
+		{secOutAdj, uint64(m) * 4, "out adjacency"},
+		{secInOff, uint64(n+1) * 4, "in-adjacency offsets"},
+		{secInAdj, uint64(m) * 4, "in adjacency"},
+	} {
+		if got := uint64(len(sec[w.id])); got != w.bytes {
+			return nil, corruptf("%s section holds %d bytes, want %d", w.what, got, w.bytes)
+		}
+	}
+	if l := len(sec[secNodeLabels]); l%4 != 0 {
+		return nil, corruptf("node labels section length %d not a multiple of 4", l)
+	}
+	for _, pair := range [][2]uint32{{secNodePropKeys, secNodePropVals}, {secEdgePropKeys, secEdgePropVals}} {
+		keys, vals := len(sec[pair[0]]), len(sec[pair[1]])
+		if keys%4 != 0 || vals%valueRecLen != 0 || keys/4 != vals/valueRecLen {
+			return nil, corruptf("property sections disagree: %d key bytes vs %d value bytes", keys, vals)
+		}
+	}
+
+	// Symbol table: offsets into the name blob, monotone and exhaustive.
+	symBlob := sec[secSymBlob]
+	symOffs := colU32[uint32](sec[secSymOff], zeroCopy)
+	if s > 0 || len(symOffs) > 0 {
+		if symOffs[0] != 0 {
+			return nil, corruptf("symbol offsets start at %d, want 0", symOffs[0])
+		}
+		for i := 1; i <= s; i++ {
+			if symOffs[i] < symOffs[i-1] {
+				return nil, corruptf("symbol offsets decrease at %d", i)
+			}
+		}
+		if int(symOffs[s]) != len(symBlob) {
+			return nil, corruptf("symbol offsets end at %d, blob holds %d bytes", symOffs[s], len(symBlob))
+		}
+	}
+	symNames := make([]string, s)
+	for i := 0; i < s; i++ {
+		symNames[i] = blobString(symBlob, uint64(symOffs[i]), uint64(symOffs[i+1]-symOffs[i]), zeroCopy)
+	}
+
+	strBlob := sec[secStrBlob]
+	nodeVals, err := decodeValues(sec[secNodePropVals], strBlob, zeroCopy)
+	if err != nil {
+		return nil, fmt.Errorf("node properties: %w", err)
+	}
+	edgeVals, err := decodeValues(sec[secEdgePropVals], strBlob, zeroCopy)
+	if err != nil {
+		return nil, fmt.Errorf("edge properties: %w", err)
+	}
+
+	cols := pg.Columns{
+		SymNames:     symNames,
+		NodeOIDs:     col64[pg.OID](sec[secNodeOIDs], zeroCopy),
+		NodeLabelOff: colI32(sec[secNodeLabelOff], zeroCopy),
+		NodeLabels:   colU32[symtab.Sym](sec[secNodeLabels], zeroCopy),
+		NodePropOff:  colI32(sec[secNodePropOff], zeroCopy),
+		NodePropKeys: colU32[symtab.Sym](sec[secNodePropKeys], zeroCopy),
+		NodePropVals: nodeVals,
+		EdgeOIDs:     col64[pg.OID](sec[secEdgeOIDs], zeroCopy),
+		EdgeLabels:   colU32[symtab.Sym](sec[secEdgeLabels], zeroCopy),
+		EdgeFrom:     col64[pg.OID](sec[secEdgeFrom], zeroCopy),
+		EdgeTo:       col64[pg.OID](sec[secEdgeTo], zeroCopy),
+		EdgePropOff:  colI32(sec[secEdgePropOff], zeroCopy),
+		EdgePropKeys: colU32[symtab.Sym](sec[secEdgePropKeys], zeroCopy),
+		EdgePropVals: edgeVals,
+		OutOff:       colI32(sec[secOutOff], zeroCopy),
+		OutAdj:       colI32(sec[secOutAdj], zeroCopy),
+		InOff:        colI32(sec[secInOff], zeroCopy),
+		InAdj:        colI32(sec[secInAdj], zeroCopy),
+	}
+	frozen, err := pg.FrozenFromColumns(cols)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	var info BuildInfo
+	if err := json.Unmarshal(sec[secBuildInfo], &info); err != nil {
+		return nil, corruptf("build info is not valid JSON: %v", err)
+	}
+
+	return &Snapshot{Frozen: frozen, Info: info}, nil
+}
+
+// decodeValues rebuilds a value column from its fixed-size records,
+// enforcing the canonical encoding: known kind, zero padding, zero unused
+// fields, and string windows inside the blob.
+func decodeValues(recs, blob []byte, zeroCopy bool) ([]value.Value, error) {
+	out := make([]value.Value, len(recs)/valueRecLen)
+	for i := range out {
+		r := recs[i*valueRecLen:]
+		if r[1] != 0 || r[2] != 0 || r[3] != 0 {
+			return nil, corruptf("value record %d has nonzero padding", i)
+		}
+		kind := value.Kind(r[0])
+		strLen := uint64(binary.LittleEndian.Uint32(r[4:]))
+		num := binary.LittleEndian.Uint64(r[8:])
+		strOff := binary.LittleEndian.Uint64(r[16:])
+		isStr := kind == value.String || kind == value.ID
+		if !isStr && (strLen != 0 || strOff != 0) {
+			return nil, corruptf("value record %d (kind %d) has string fields set", i, kind)
+		}
+		switch kind {
+		case value.String, value.ID:
+			if num != 0 {
+				return nil, corruptf("value record %d (kind %d) has numeric field set", i, kind)
+			}
+			if strOff > uint64(len(blob)) || strLen > uint64(len(blob))-strOff {
+				return nil, corruptf("value record %d string [%d, %d+%d) outside %d-byte blob", i, strOff, strOff, strLen, len(blob))
+			}
+			if strLen == 0 && strOff != 0 {
+				return nil, corruptf("value record %d empty string with nonzero offset", i)
+			}
+			str := blobString(blob, strOff, strLen, zeroCopy)
+			if kind == value.String {
+				out[i] = value.Str(str)
+			} else {
+				out[i] = value.IDV(str)
+			}
+		case value.Int:
+			out[i] = value.IntV(int64(num))
+		case value.Null:
+			out[i] = value.NullV(int64(num))
+		case value.Float:
+			out[i] = value.FloatV(math.Float64frombits(num))
+		case value.Bool:
+			if num > 1 {
+				return nil, corruptf("value record %d bool payload %d", i, num)
+			}
+			out[i] = value.BoolV(num == 1)
+		case value.Invalid:
+			if num != 0 {
+				return nil, corruptf("value record %d invalid kind with payload", i)
+			}
+		default:
+			return nil, corruptf("value record %d has unknown kind %d", i, kind)
+		}
+	}
+	return out, nil
+}
+
+// blobString extracts one string from a blob, sharing the bytes in
+// zero-copy mode.
+func blobString(blob []byte, off, length uint64, zeroCopy bool) string {
+	if length == 0 {
+		return ""
+	}
+	b := blob[off : off+length]
+	if zeroCopy {
+		return unsafe.String(&b[0], len(b))
+	}
+	return string(b)
+}
+
+// col64 decodes an 8-byte-element column, aliasing the section bytes when
+// the platform and alignment allow it.
+func col64[T ~int64](sec []byte, zeroCopy bool) []T {
+	count := len(sec) / 8
+	if count == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&sec[0]))%8 == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(&sec[0])), count)
+	}
+	out := make([]T, count)
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint64(sec[i*8:]))
+	}
+	return out
+}
+
+// colU32 decodes a 4-byte unsigned-element column (symbols).
+func colU32[T ~uint32](sec []byte, zeroCopy bool) []T {
+	count := len(sec) / 4
+	if count == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&sec[0]))%4 == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(&sec[0])), count)
+	}
+	out := make([]T, count)
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint32(sec[i*4:]))
+	}
+	return out
+}
+
+// colI32 decodes a 4-byte signed-element column (offsets, adjacency rows).
+func colI32(sec []byte, zeroCopy bool) []int32 {
+	count := len(sec) / 4
+	if count == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&sec[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&sec[0])), count)
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(sec[i*4:]))
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package snapfile implements the persistent on-disk format for frozen
+// graph snapshots (pg.Frozen): a versioned, checksummed, mmap-friendly
+// binary layout that turns kgserve cold-start from "parse JSON + freeze"
+// into "open + validate + swap". It is the durability layer the ROADMAP's
+// "snapshot persistence and instant-start replicas" item calls for — one
+// offline build (§6's ~160-minute materialization in the paper's Bank of
+// Italy deployment) shared by any number of stateless serving replicas
+// through the page cache.
+//
+// # File layout (version 1)
+//
+// All integers are little-endian. Every section starts on an 8-byte
+// boundary; gaps are zero. Offsets are absolute file offsets.
+//
+//	┌────────────────────────────────────────────────────────────┐
+//	│ header (64 bytes)                                          │
+//	│   0  magic      [8]byte  "KGSNAP\r\n"                      │
+//	│   8  version    u32      1                                 │
+//	│  12  headerLen  u32      64 (v1) — offset of section table │
+//	│  16  flags      u64      reserved, 0                       │
+//	│  24  nodes      u64                                        │
+//	│  32  edges      u64                                        │
+//	│  40  syms       u64                                        │
+//	│  48  sections   u32      number of section-table entries   │
+//	│  52  tableCRC   u32      CRC32C of the section table       │
+//	│  56  reserved   u32      0                                 │
+//	│  60  headerCRC  u32      CRC32C of bytes [0, headerLen-4)  │
+//	├────────────────────────────────────────────────────────────┤
+//	│ section table (sections × 32 bytes, ascending section id)  │
+//	│   0  id       u32                                          │
+//	│   4  reserved u32      0                                   │
+//	│   8  off      u64      8-byte aligned                      │
+//	│  16  len      u64      exact payload length                │
+//	│  24  crc      u32      CRC32C of the payload               │
+//	│  28  reserved u32      0                                   │
+//	├────────────────────────────────────────────────────────────┤
+//	│ sections 2..21 in id order, then section 1 (build info)    │
+//	└────────────────────────────────────────────────────────────┘
+//
+// The build-info section is written last so that two snapshots of the same
+// graph with different provenance differ only in that section (and the
+// table/header bytes describing it) — every data section sits at identical
+// offsets with identical bytes.
+//
+// Section payloads (elements little-endian, counts n = nodes, m = edges,
+// s = syms):
+//
+//	 1 buildInfo    JSON-encoded BuildInfo
+//	 2 symOff       (s+1) × u32   name i is symBlob[symOff[i]:symOff[i+1]]
+//	 3 symBlob      bytes         concatenated symbol names
+//	 4 nodeOIDs     n × i64       strictly ascending
+//	 5 nodeLabelOff (n+1) × i32   CSR offsets into nodeLabels
+//	 6 nodeLabels   × u32         symtab.Sym values
+//	 7 nodePropOff  (n+1) × i32
+//	 8 nodePropKeys × u32         ascending per row
+//	 9 nodePropVals × 24-byte value records
+//	10 edgeOIDs     m × i64       strictly ascending
+//	11 edgeLabels   m × u32
+//	12 edgeFrom     m × i64
+//	13 edgeTo       m × i64
+//	14 edgePropOff  (m+1) × i32
+//	15 edgePropKeys × u32
+//	16 edgePropVals × 24-byte value records
+//	17 strBlob      bytes         string payloads of value records
+//	18 outOff       (n+1) × i32   CSR offsets into outAdj
+//	19 outAdj       m × i32       edge rows, ascending per node
+//	20 inOff        (n+1) × i32
+//	21 inAdj        m × i32
+//
+// A value record is 24 bytes: kind u8 (value.Kind), 3 zero pad bytes,
+// strLen u32, num u64 (int64 bits, float64 bits, bool 0/1, or null label),
+// strOff u64 into strBlob. Fields a kind does not use must be zero, which
+// makes the encoding canonical: equal snapshots encode to identical bytes.
+//
+// # Reading
+//
+// Open memory-maps the file and reconstructs a pg.Frozen without copying
+// the numeric columns or string bytes: after the magic, version, checksum
+// and structural validation passes (nothing is handed out before they all
+// succeed), the column slices alias the mapping directly and only the
+// pointer facade (nodes, edges, row maps, label indexes) is rebuilt on the
+// heap. Where mmap is unavailable — unsupported platform, mapping failure,
+// or an injected fault at snapfile/mmap — Open falls back to a copying
+// loader with identical semantics. Malformed input of any shape yields a
+// typed error (ErrBadMagic, ErrBadVersion, ErrTruncated, ErrChecksum,
+// ErrCorrupt), never a panic and never a partially-valid snapshot.
+//
+// Writes go through the atomic-materialization discipline: WriteFile
+// encodes to a temporary file in the destination directory, fsyncs, then
+// renames into place, so a crashed or fault-injected write leaves either
+// the old file or no file — never a torn snapshot. The injection sites
+// snapfile/write, snapfile/rename and snapfile/mmap plug into the chaos
+// harness (internal/fault).
+package snapfile
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/fault"
+)
+
+// Magic is the 8-byte file signature. The \r\n tail catches text-mode
+// transfer mangling the way PNG's signature does.
+const Magic = "KGSNAP\r\n"
+
+// Version is the current format version written by Encode.
+const Version = 1
+
+const (
+	headerLen   = 64 // v1 header size; readers honor the headerLen field
+	minHeader   = 64 // smallest header any version may declare
+	entryLen    = 32 // section-table entry size
+	valueRecLen = 24 // value record size
+	maxSections = 1024
+)
+
+// Section ids of format version 1. Readers require 1..21 exactly once and
+// ignore unknown ids, so future versions can add sections without breaking
+// v1 readers of v1 files.
+const (
+	secBuildInfo = 1 + iota
+	secSymOff
+	secSymBlob
+	secNodeOIDs
+	secNodeLabelOff
+	secNodeLabels
+	secNodePropOff
+	secNodePropKeys
+	secNodePropVals
+	secEdgeOIDs
+	secEdgeLabels
+	secEdgeFrom
+	secEdgeTo
+	secEdgePropOff
+	secEdgePropKeys
+	secEdgePropVals
+	secStrBlob
+	secOutOff
+	secOutAdj
+	secInOff
+	secInAdj
+
+	numSections = secInAdj // 21
+)
+
+// Fault-injection sites of the snapshot layer (see internal/fault): the
+// temp-file write, the publishing rename, and the read-side mmap (whose
+// failure is survivable — Open degrades to the copying loader).
+var (
+	siteWrite  = fault.Site("snapfile/write")
+	siteRename = fault.Site("snapfile/rename")
+	siteMmap   = fault.Site("snapfile/mmap")
+)
+
+// Typed decode errors. Every malformed input maps to exactly one of these
+// through errors.Is; the message carries the detail.
+var (
+	// ErrBadMagic: the file does not start with the KGSNAP signature.
+	ErrBadMagic = errors.New("snapfile: bad magic")
+	// ErrBadVersion: the signature matched but the format version is not
+	// one this reader understands.
+	ErrBadVersion = errors.New("snapfile: unsupported format version")
+	// ErrTruncated: the file ends before a region the header or section
+	// table says exists.
+	ErrTruncated = errors.New("snapfile: truncated file")
+	// ErrChecksum: a CRC32C over the header, section table or a section
+	// payload does not match the stored value.
+	ErrChecksum = errors.New("snapfile: checksum mismatch")
+	// ErrCorrupt: the checksums hold but the content violates a structural
+	// invariant of the format (bad counts, offsets, symbols, records…).
+	ErrCorrupt = errors.New("snapfile: corrupt snapshot")
+)
+
+// crcTable is the Castagnoli polynomial table (CRC32C), hardware
+// accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func crcOf(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// BuildInfo is the provenance header stamped into every snapshot by its
+// producer: which tool built it, from what source, with which parameters.
+// It is surfaced by kgsnap -info and the kgserve /stats endpoint so an
+// operator can tell which build a replica is serving. The zero value is
+// valid (an anonymous build). Timestamps are the caller's choice — Encode
+// never stamps one, keeping encoding a pure function of its inputs.
+type BuildInfo struct {
+	// Tool identifies the producer, e.g. "kgsnap v1" or "kggen".
+	Tool string `json:"tool,omitempty"`
+	// Source names the input the snapshot was built from (a path, URL…).
+	Source string `json:"source,omitempty"`
+	// SourceHash fingerprints the source bytes (FNV-1a 64, hex), so two
+	// replicas can tell whether they serve the same build.
+	SourceHash string `json:"sourceHash,omitempty"`
+	// CreatedUnix is the build time in Unix seconds, 0 when unstamped.
+	CreatedUnix int64 `json:"createdUnix,omitempty"`
+	// Params records creation parameters (seeds, modes, sizes…).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Sniff reports whether b begins with the snapshot magic — enough bytes to
+// route a file between the JSON loader and Open without extensions.
+func Sniff(b []byte) bool {
+	return len(b) >= len(Magic) && string(b[:len(Magic)]) == Magic
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func truncatedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTruncated, fmt.Sprintf(format, args...))
+}
+
+func checksumf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrChecksum, fmt.Sprintf(format, args...))
+}

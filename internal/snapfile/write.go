@@ -1,0 +1,258 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/pg"
+	"repro/internal/value"
+)
+
+// Encode serializes a frozen snapshot into the version-1 format. Encoding
+// is deterministic: equal snapshots (and equal info) produce byte-identical
+// output, which the golden-file tests pin.
+func Encode(f *pg.Frozen, info BuildInfo) ([]byte, error) {
+	c := f.Columns()
+	n, m, s := len(c.NodeOIDs), len(c.EdgeOIDs), len(c.SymNames)
+
+	infoJSON, err := json.Marshal(info)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: encoding build info: %w", err)
+	}
+
+	// String blob for value records, deduplicated on first use in column
+	// order (deterministic: the columns have one canonical order).
+	var strBlob []byte
+	strOff := map[string]uint64{}
+	intern := func(str string) (off uint64, length uint32) {
+		if len(str) == 0 {
+			return 0, 0
+		}
+		off, ok := strOff[str]
+		if !ok {
+			off = uint64(len(strBlob))
+			strOff[str] = off
+			strBlob = append(strBlob, str...)
+		}
+		return off, uint32(len(str))
+	}
+	encodeVals := func(vals []value.Value) ([]byte, error) {
+		out := make([]byte, len(vals)*valueRecLen)
+		for i, v := range vals {
+			rec := out[i*valueRecLen:]
+			rec[0] = byte(v.K)
+			switch v.K {
+			case value.String, value.ID:
+				off, l := intern(v.S)
+				binary.LittleEndian.PutUint32(rec[4:], l)
+				binary.LittleEndian.PutUint64(rec[16:], off)
+			case value.Int, value.Null:
+				binary.LittleEndian.PutUint64(rec[8:], uint64(v.I))
+			case value.Float:
+				binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(v.F))
+			case value.Bool:
+				if v.B {
+					binary.LittleEndian.PutUint64(rec[8:], 1)
+				}
+			case value.Invalid:
+				// all-zero record
+			default:
+				return nil, fmt.Errorf("snapfile: cannot encode value kind %d", v.K)
+			}
+		}
+		return out, nil
+	}
+
+	// Symbol table: offsets + concatenated names.
+	symOff := make([]byte, (s+1)*4)
+	var symBlob []byte
+	for i, name := range c.SymNames {
+		binary.LittleEndian.PutUint32(symOff[i*4:], uint32(len(symBlob)))
+		symBlob = append(symBlob, name...)
+	}
+	binary.LittleEndian.PutUint32(symOff[s*4:], uint32(len(symBlob)))
+
+	nodeVals, err := encodeVals(c.NodePropVals)
+	if err != nil {
+		return nil, err
+	}
+	edgeVals, err := encodeVals(c.EdgePropVals)
+	if err != nil {
+		return nil, err
+	}
+
+	payloads := map[uint32][]byte{
+		secBuildInfo:    infoJSON,
+		secSymOff:       symOff,
+		secSymBlob:      symBlob,
+		secNodeOIDs:     i64Bytes(c.NodeOIDs),
+		secNodeLabelOff: i32Bytes(c.NodeLabelOff),
+		secNodeLabels:   symBytes(c.NodeLabels),
+		secNodePropOff:  i32Bytes(c.NodePropOff),
+		secNodePropKeys: symBytes(c.NodePropKeys),
+		secNodePropVals: nodeVals,
+		secEdgeOIDs:     i64Bytes(c.EdgeOIDs),
+		secEdgeLabels:   symBytes(c.EdgeLabels),
+		secEdgeFrom:     i64Bytes(c.EdgeFrom),
+		secEdgeTo:       i64Bytes(c.EdgeTo),
+		secEdgePropOff:  i32Bytes(c.EdgePropOff),
+		secEdgePropKeys: symBytes(c.EdgePropKeys),
+		secEdgePropVals: edgeVals,
+		secStrBlob:      strBlob,
+		secOutOff:       i32Bytes(c.OutOff),
+		secOutAdj:       i32Bytes(c.OutAdj),
+		secInOff:        i32Bytes(c.InOff),
+		secInAdj:        i32Bytes(c.InAdj),
+	}
+
+	// Lay the sections out: data sections in id order, build info last, so
+	// provenance-only differences leave every data section untouched.
+	order := make([]uint32, 0, numSections)
+	for id := uint32(secSymOff); id <= numSections; id++ {
+		order = append(order, id)
+	}
+	order = append(order, secBuildInfo)
+
+	type entry struct {
+		off uint64
+		len uint64
+		crc uint32
+	}
+	entries := make(map[uint32]entry, numSections)
+	pos := uint64(headerLen + numSections*entryLen)
+	pos = align8(pos)
+	for _, id := range order {
+		p := payloads[id]
+		entries[id] = entry{off: pos, len: uint64(len(p)), crc: crcOf(p)}
+		pos += uint64(len(p))
+		if id != order[len(order)-1] {
+			pos = align8(pos)
+		}
+	}
+	fileSize := pos
+
+	out := make([]byte, fileSize)
+
+	// Section table, ascending id.
+	table := out[headerLen : headerLen+numSections*entryLen]
+	for i := 0; i < numSections; i++ {
+		id := uint32(i + 1)
+		e := entries[id]
+		rec := table[i*entryLen:]
+		binary.LittleEndian.PutUint32(rec[0:], id)
+		binary.LittleEndian.PutUint64(rec[8:], e.off)
+		binary.LittleEndian.PutUint64(rec[16:], e.len)
+		binary.LittleEndian.PutUint32(rec[24:], e.crc)
+	}
+
+	// Header.
+	copy(out[0:], Magic)
+	binary.LittleEndian.PutUint32(out[8:], Version)
+	binary.LittleEndian.PutUint32(out[12:], headerLen)
+	binary.LittleEndian.PutUint64(out[24:], uint64(n))
+	binary.LittleEndian.PutUint64(out[32:], uint64(m))
+	binary.LittleEndian.PutUint64(out[40:], uint64(s))
+	binary.LittleEndian.PutUint32(out[48:], numSections)
+	binary.LittleEndian.PutUint32(out[52:], crcOf(table))
+	binary.LittleEndian.PutUint32(out[60:], crcOf(out[:headerLen-4]))
+
+	// Payloads.
+	for id, e := range entries {
+		copy(out[e.off:], payloads[id])
+	}
+	return out, nil
+}
+
+// WriteFile atomically writes a snapshot to path: encode, write to a
+// temporary file in the same directory, fsync, rename into place, fsync
+// the directory. On any failure — including injected faults at
+// snapfile/write and snapfile/rename — the temporary file is removed and
+// an existing file at path is left untouched, so readers never observe a
+// torn snapshot. It returns the encoded size.
+func WriteFile(path string, f *pg.Frozen, info BuildInfo) (int64, error) {
+	data, err := Encode(f, info)
+	if err != nil {
+		return 0, err
+	}
+	if err := fault.Hit(siteWrite); err != nil {
+		return 0, fmt.Errorf("snapfile: writing %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("snapfile: writing %s: %w", path, err)
+	}
+	// CreateTemp creates 0600; published snapshots are world-readable like
+	// any other build artifact (umask still applies via the explicit chmod
+	// semantics: 0644 is the ceiling we set, not a widening of the mask).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()           //nolint:errcheck // already failing
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort
+		return 0, fmt.Errorf("snapfile: writing %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	published := false
+	// Deferred (not inline) so that a panic between here and the rename —
+	// e.g. an injected ModePanic fault — also removes the temporary file:
+	// no failure shape may leave a partial snapshot beside the real one.
+	defer func() {
+		if !published {
+			tmp.Close()        //nolint:errcheck // already failing
+			os.Remove(tmpName) //nolint:errcheck // best-effort
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return 0, fmt.Errorf("snapfile: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("snapfile: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("snapfile: closing %s: %w", path, err)
+	}
+	if err := fault.Hit(siteRename); err != nil {
+		return 0, fmt.Errorf("snapfile: publishing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return 0, fmt.Errorf("snapfile: publishing %s: %w", path, err)
+	}
+	published = true
+	// Durability of the rename itself; best-effort (some filesystems do
+	// not support fsync on directories).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort
+		d.Close()
+	}
+	return int64(len(data)), nil
+}
+
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+
+func i32Bytes(xs []int32) []byte {
+	out := make([]byte, len(xs)*4)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(x))
+	}
+	return out
+}
+
+func i64Bytes[T ~int64](xs []T) []byte {
+	out := make([]byte, len(xs)*8)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(x))
+	}
+	return out
+}
+
+func symBytes[T ~uint32](xs []T) []byte {
+	out := make([]byte, len(xs)*4)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(x))
+	}
+	return out
+}

@@ -14,6 +14,8 @@
 // be mutated (the frozen phase) is safe for concurrent readers.
 package symtab
 
+import "fmt"
+
 // Sym is an interned symbol: a dense index into its Table. The zero Sym is
 // never assigned to a string — it is reserved as "no symbol" so Sym fields
 // have a usable zero value.
@@ -36,6 +38,26 @@ func New() *Table {
 		byName: make(map[string]Sym),
 		names:  make([]string, 1), // reserve Sym 0 = None
 	}
+}
+
+// FromNames rebuilds a table from a Names() listing: names[i] is assigned
+// Sym(i+1), exactly inverting Names. It is the deserialization entry point
+// of the on-disk snapshot format (internal/snapfile), which persists the
+// table as its name list. Duplicate names are an error — a table never
+// assigns two symbols to one string.
+func FromNames(names []string) (*Table, error) {
+	t := &Table{
+		byName: make(map[string]Sym, len(names)),
+		names:  make([]string, 1, len(names)+1),
+	}
+	for _, s := range names {
+		if _, dup := t.byName[s]; dup {
+			return nil, fmt.Errorf("symtab: duplicate name %q in table listing", s)
+		}
+		t.byName[s] = Sym(len(t.names))
+		t.names = append(t.names, s)
+	}
+	return t, nil
 }
 
 // Intern returns the symbol for s, assigning the next free Sym on first

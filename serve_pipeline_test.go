@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/fingraph"
 	"repro/internal/server"
+	"repro/internal/snapfile"
 	"repro/internal/supermodel"
 )
 
@@ -126,5 +127,130 @@ func TestServePipeline(t *testing.T) {
 	}
 	if !bytes.Equal(q1, q2) {
 		t.Error("query response changed across snapshot swap of identical data")
+	}
+}
+
+// TestServePipelineSnapshot is the persistence leg of the serving pipeline
+// (DESIGN.md §12): generate → encode a binary snapshot (the kggen -snap /
+// kgsnap path) → cold-start a server from the file (kgserve -snapshot) →
+// byte-compare /query against a server that parsed the JSON, then swap the
+// JSON server onto the snapshot via /reload and compare again. The replica
+// started from the mmap file must be indistinguishable on the wire, down
+// to the bytes, with its provenance visible in /stats.
+func TestServePipelineSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "companykg.json")
+	snapPath := filepath.Join(dir, "companykg.snap")
+	topo := fingraph.GenerateTopology(fingraph.DefaultConfig(30, 5))
+	g := topo.CompanyKG()
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info := snapfile.BuildInfo{
+		Tool:   "kggen",
+		Source: "fingraph/kg",
+		Params: map[string]string{"companies": "30", "seed": "5"},
+	}
+	if _, err := snapfile.WriteFile(snapPath, g.Freeze(), info); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two replicas over real listeners: one parsed the JSON, one
+	// cold-started from the snapshot file.
+	start := func(source string) (*server.Server, string, func()) {
+		srv, err := server.New(server.Config{Source: source, CacheSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-done; err != http.ErrServerClosed {
+				t.Errorf("serve returned %v", err)
+			}
+		}
+		return srv, "http://" + ln.Addr().String(), stop
+	}
+	jsonSrv, jsonBase, stopJSON := start(jsonPath)
+	defer stopJSON()
+	_, snapBase, stopSnap := start(snapPath)
+	defer stopSnap()
+
+	post := func(base, p, body string) (int, []byte) {
+		resp, err := http.Post(base+p, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	q := fmt.Sprintf(`{"query":%q}`, `(h: Person) [: HOLDS] (sh: Share; percentage: s) [: BELONGS_TO] (b: Business), s > 0.5`)
+	code, fromJSON := post(jsonBase, "/query", q)
+	if code != http.StatusOK {
+		t.Fatalf("query (json replica) %d: %s", code, fromJSON)
+	}
+	code, fromSnap := post(snapBase, "/query", q)
+	if code != http.StatusOK {
+		t.Fatalf("query (snapshot replica) %d: %s", code, fromSnap)
+	}
+	if !bytes.Equal(fromJSON, fromSnap) {
+		t.Fatal("snapshot-replica query bytes diverge from the JSON replica")
+	}
+
+	// The snapshot replica exposes its provenance.
+	resp, err := http.Get(snapBase + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Build *snapfile.BuildInfo `json:"build"`
+	}
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Build == nil || st.Build.Tool != "kggen" || st.Build.Params["companies"] != "30" {
+		t.Fatalf("snapshot replica /stats lacks provenance: %s", stats)
+	}
+
+	// The JSON replica hot-swaps onto the snapshot file: one generation
+	// forward, query bytes unchanged.
+	if code, rbody := post(jsonBase, "/reload", fmt.Sprintf(`{"path":%q}`, snapPath)); code != http.StatusOK {
+		t.Fatalf("reload onto snapshot %d: %s", code, rbody)
+	}
+	if gen := jsonSrv.Generation(); gen != 2 {
+		t.Fatalf("generation = %d, want 2", gen)
+	}
+	code, afterSwap := post(jsonBase, "/query", q)
+	if code != http.StatusOK {
+		t.Fatalf("query after snapshot reload %d: %s", code, afterSwap)
+	}
+	if !bytes.Equal(fromJSON, afterSwap) {
+		t.Fatal("query bytes changed across JSON→snapshot swap of identical data")
 	}
 }
