@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot
+.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,7 @@ fuzz-smoke: build
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/gsl/
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s -run '^$$' ./internal/vadalog/
 	$(GO) test -fuzz '^FuzzDecodeQuery$$' -fuzztime 10s -run '^$$' ./internal/server/
+	$(GO) test -fuzz '^FuzzDecodeMutation$$' -fuzztime 10s -run '^$$' ./internal/server/
 	$(GO) test -fuzz '^FuzzOpenSnapshot$$' -fuzztime 10s -run '^$$' ./internal/snapfile/
 
 # cover enforces the per-package coverage floors on the newest subsystems —
@@ -63,6 +64,12 @@ cover: build
 	echo "internal/snapfile coverage: $$total% (floor 70%)"; \
 	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
 	{ echo "FAIL: internal/snapfile coverage $$total% is below the 70% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover_overlay.out ./internal/overlay/
+	@total=$$($(GO) tool cover -func=cover_overlay.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover_overlay.out; \
+	echo "internal/overlay coverage: $$total% (floor 70%)"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
+	{ echo "FAIL: internal/overlay coverage $$total% is below the 70% floor"; exit 1; }
 
 # check is the tier-1 gate: vet + full suite, the race-detector pass, the
 # chaos sweep, the fuzz smoke test, and the coverage floor.
@@ -104,3 +111,15 @@ bench-snapshot: build
 	$(GO) test -run '^$$' -bench 'BenchmarkSnapshot' -benchtime 2s -benchmem ./internal/snapfile/ | tee BENCH_snapshot.txt
 	$(GO) run ./cmd/benchjson < BENCH_snapshot.txt > BENCH_snapshot.json
 	rm -f BENCH_snapshot.txt
+
+# bench-incr captures the E22 incremental-maintenance benchmarks
+# (EXPERIMENTS.md) — one 0.1% edge-churn batch through Maintainer.Apply
+# versus the full fixpoint rebuild it replaces — into BENCH_incr.json via
+# cmd/benchjson. The acceptance criterion (churn batch < 1% of rebuild wall
+# time) is enforced on every `go test ./...` by TestIncrChurnRatio; the
+# committed file is the baseline, regenerate on comparable hardware before
+# comparing numbers.
+bench-incr: build
+	$(GO) test -run '^$$' -bench 'BenchmarkIncr' -benchmem ./internal/vadalog/ | tee BENCH_incr.txt
+	$(GO) run ./cmd/benchjson < BENCH_incr.txt > BENCH_incr.json
+	rm -f BENCH_incr.txt

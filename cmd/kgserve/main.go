@@ -18,6 +18,9 @@
 //	GET  /schema    catalog layout (+ GSL design when configured)
 //	POST /reload    {"path": "other.json"} — atomic generation swap; the
 //	                path may also be a binary .snap file (sniffed by magic)
+//	POST /mutate    {"ops": [...]} — apply a batched graph mutation as the
+//	                next generation (live write path over an overlay)
+//	POST /compact   fold the live overlay into a fresh frozen generation
 //
 // With -debug, /debug/vars, /debug/pprof and /debug/latency are mounted.
 package main
@@ -51,6 +54,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (negative = none)")
 	cache := flag.Int("cache", 1024, "query-result LRU entries (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	compactEvery := flag.Duration("compact-every", 0, "fold the live write overlay into a frozen generation at this interval (0 disables)")
+	compactDir := flag.String("compact-dir", "", "persist compacted generations as binary snapshots in this directory")
 	debug := flag.Bool("debug", false, "mount /debug/vars, /debug/pprof and /debug/latency")
 	ff := cli.RegisterFaultFlags(flag.CommandLine, true)
 	flag.Parse()
@@ -98,6 +103,8 @@ func main() {
 		MaxFacts:      *maxFacts,
 		Timeout:       *timeout,
 		CacheSize:     *cache,
+		CompactEvery:  *compactEvery,
+		CompactDir:    *compactDir,
 		Retry:         ff.RetryPolicy(),
 		OnFault:       policy,
 		Debug:         *debug,

@@ -1,0 +1,388 @@
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/pg"
+	"repro/internal/sortedset"
+	"repro/internal/value"
+)
+
+// OpKind names a mutation operation. The kinds mirror pg.Graph's mutators
+// (plus property deletion, which pg expresses as a direct map write): the
+// overlay's write surface is exactly the builder phase's.
+type OpKind string
+
+const (
+	OpAddNode     OpKind = "add_node"
+	OpAddEdge     OpKind = "add_edge"
+	OpRemoveNode  OpKind = "remove_node"
+	OpRemoveEdge  OpKind = "remove_edge"
+	OpSetNodeProp OpKind = "set_node_prop"
+	OpDelNodeProp OpKind = "del_node_prop"
+	OpAddLabel    OpKind = "add_label"
+)
+
+// Ref names a node: either by OID or by the batch-local handle an earlier
+// add_node op in the same batch declared. Exactly one of the two is set.
+type Ref struct {
+	ID   pg.OID
+	Name string
+}
+
+func (r Ref) String() string {
+	if r.Name != "" {
+		return "$" + r.Name
+	}
+	return fmt.Sprint(r.ID)
+}
+
+// Op is one mutation. Which fields apply depends on Kind:
+//
+//	add_node       Name? Labels Props
+//	add_edge       From To Label Props
+//	remove_node    Node
+//	remove_edge    Edge
+//	set_node_prop  Node Key Value
+//	del_node_prop  Node Key
+//	add_label      Node Label
+type Op struct {
+	Kind   OpKind
+	Name   string // add_node: optional batch-local handle for later refs
+	Labels []string
+	Label  string
+	Props  pg.Props
+	Node   Ref
+	From   Ref
+	To     Ref
+	Edge   pg.OID
+	Key    string
+	Value  value.Value
+}
+
+// NodeChange pairs the pre- and post-batch state of a mutated node. Both
+// pointers are private copies or immutable structs; neither changes later.
+type NodeChange struct {
+	Before *pg.Node
+	After  *pg.Node
+}
+
+// Diff reports a batch's net effect, each slice in ascending OID order.
+// Removed constructs carry their pre-batch state (labels and properties
+// included), which is exactly what incremental fact maintenance needs to
+// retract their facts. Constructs both created and destroyed inside one
+// batch do not appear at all.
+type Diff struct {
+	AddedNodes   []*pg.Node
+	AddedEdges   []*pg.Edge
+	RemovedNodes []*pg.Node
+	RemovedEdges []*pg.Edge
+	ChangedNodes []NodeChange
+	// Handles maps the batch's add_node handles to the OIDs they were
+	// assigned, so callers can address the created nodes in later batches.
+	// Handles of nodes removed later in the same batch still appear here.
+	Handles map[string]pg.OID
+}
+
+// Empty reports whether the batch had no net effect.
+func (d Diff) Empty() bool {
+	return len(d.AddedNodes) == 0 && len(d.AddedEdges) == 0 &&
+		len(d.RemovedNodes) == 0 && len(d.RemovedEdges) == 0 && len(d.ChangedNodes) == 0
+}
+
+// recorder captures the pre-batch state of every construct a batch touches,
+// lazily: the first touch of an OID stores what the overlay showed before
+// (nil for then-absent constructs). The stored pointers stay valid because
+// overlay mutation is copy-on-write — nothing is ever edited in place.
+type recorder struct {
+	o       *Overlay
+	nodePre map[pg.OID]*pg.Node
+	edgePre map[pg.OID]*pg.Edge
+	nodeIDs []pg.OID // touch order; sorted at diff time
+	edgeIDs []pg.OID
+}
+
+func newRecorder(o *Overlay) *recorder {
+	return &recorder{o: o, nodePre: map[pg.OID]*pg.Node{}, edgePre: map[pg.OID]*pg.Edge{}}
+}
+
+func (r *recorder) touchNode(id pg.OID) {
+	if _, ok := r.nodePre[id]; ok {
+		return
+	}
+	r.nodePre[id] = r.o.Node(id)
+	r.nodeIDs = append(r.nodeIDs, id)
+}
+
+func (r *recorder) touchEdge(id pg.OID) {
+	if _, ok := r.edgePre[id]; ok {
+		return
+	}
+	r.edgePre[id] = r.o.Edge(id)
+	r.edgeIDs = append(r.edgeIDs, id)
+}
+
+func (r *recorder) diff() Diff {
+	var d Diff
+	sortedset.Sort(r.nodeIDs)
+	for _, id := range r.nodeIDs {
+		before, after := r.nodePre[id], r.o.Node(id)
+		switch {
+		case before == nil && after != nil:
+			d.AddedNodes = append(d.AddedNodes, after)
+		case before != nil && after == nil:
+			d.RemovedNodes = append(d.RemovedNodes, before)
+		case before != nil && after != nil && !sameNode(before, after):
+			d.ChangedNodes = append(d.ChangedNodes, NodeChange{Before: before, After: after})
+		}
+	}
+	sortedset.Sort(r.edgeIDs)
+	for _, id := range r.edgeIDs {
+		before, after := r.edgePre[id], r.o.Edge(id)
+		switch {
+		case before == nil && after != nil:
+			d.AddedEdges = append(d.AddedEdges, after)
+		case before != nil && after == nil:
+			d.RemovedEdges = append(d.RemovedEdges, before)
+		}
+	}
+	return d
+}
+
+func sameNode(a, b *pg.Node) bool {
+	if len(a.Labels) != len(b.Labels) || len(a.Props) != len(b.Props) {
+		return false
+	}
+	for i, l := range a.Labels {
+		if b.Labels[i] != l {
+			return false
+		}
+	}
+	for k, v := range a.Props {
+		bv, ok := b.Props[k]
+		if !ok || !sameValue(v, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply applies one batch of mutations in order and returns its net Diff.
+// Application is NOT atomic: on error the overlay may hold a prefix of the
+// batch. Callers needing all-or-nothing semantics (the server's /mutate
+// path) apply to a Clone and swap only on success.
+func (o *Overlay) Apply(ops []Op) (Diff, error) {
+	if err := fault.Hit(siteApply); err != nil {
+		return Diff{}, err
+	}
+	rec := newRecorder(o)
+	names := map[string]pg.OID{}
+	for i, op := range ops {
+		if err := o.applyOp(op, names, rec); err != nil {
+			return Diff{}, fmt.Errorf("overlay: op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	diff := rec.diff()
+	if len(names) > 0 {
+		diff.Handles = names
+	}
+	return diff, nil
+}
+
+// resolve maps a Ref to the OID of an existing merged node.
+func (o *Overlay) resolve(r Ref, names map[string]pg.OID) (pg.OID, error) {
+	id := r.ID
+	if r.Name != "" {
+		bound, ok := names[r.Name]
+		if !ok {
+			return 0, fmt.Errorf("unknown node handle %q", r.Name)
+		}
+		id = bound
+	}
+	if o.Node(id) == nil {
+		return 0, fmt.Errorf("no node with OID %d", id)
+	}
+	return id, nil
+}
+
+func (o *Overlay) applyOp(op Op, names map[string]pg.OID, rec *recorder) error {
+	switch op.Kind {
+	case OpAddNode:
+		if op.Name != "" {
+			if _, dup := names[op.Name]; dup {
+				return fmt.Errorf("duplicate node handle %q", op.Name)
+			}
+		}
+		id := o.next
+		o.next++
+		rec.touchNode(id)
+		n := &pg.Node{ID: id, Labels: normalizeLabels(op.Labels), Props: cloneNodeProps(op.Props)}
+		o.addNodes[id] = n
+		o.addNodeIDs = append(o.addNodeIDs, id) // ascending by construction
+		for _, l := range n.Labels {
+			o.addByLabel[l] = sortedset.Insert(o.addByLabel[l], id)
+			o.nodeLabelDelta[l]++
+		}
+		if op.Name != "" {
+			names[op.Name] = id
+		}
+		return nil
+
+	case OpAddEdge:
+		from, err := o.resolve(op.From, names)
+		if err != nil {
+			return fmt.Errorf("edge source: %w", err)
+		}
+		to, err := o.resolve(op.To, names)
+		if err != nil {
+			return fmt.Errorf("edge target: %w", err)
+		}
+		id := o.next
+		o.next++
+		rec.touchEdge(id)
+		e := &pg.Edge{ID: id, Label: op.Label, From: from, To: to, Props: cloneEdgeProps(op.Props)}
+		o.addEdges[id] = e
+		o.addEdgeIDs = append(o.addEdgeIDs, id)
+		o.addEdgeByLabel[op.Label] = sortedset.Insert(o.addEdgeByLabel[op.Label], id)
+		o.outAdd[from] = append(o.outAdd[from], id) // fresh OIDs ascend
+		o.inAdd[to] = append(o.inAdd[to], id)
+		o.edgeLabelDelta[op.Label]++
+		return nil
+
+	case OpRemoveEdge:
+		return o.removeEdge(op.Edge, rec)
+
+	case OpRemoveNode:
+		id, err := o.resolve(op.Node, names)
+		if err != nil {
+			return err
+		}
+		// Cascade: drop the incident merged edges first (a self-loop shows
+		// up in both directions; the set dedups it).
+		incident := map[pg.OID]bool{}
+		var order []pg.OID
+		for _, e := range o.Out(id) {
+			if !incident[e.ID] {
+				incident[e.ID] = true
+				order = append(order, e.ID)
+			}
+		}
+		for _, e := range o.In(id) {
+			if !incident[e.ID] {
+				incident[e.ID] = true
+				order = append(order, e.ID)
+			}
+		}
+		for _, eid := range order {
+			if err := o.removeEdge(eid, rec); err != nil {
+				return err
+			}
+		}
+		rec.touchNode(id)
+		n := o.Node(id)
+		if _, added := o.addNodes[id]; added {
+			delete(o.addNodes, id)
+			o.addNodeIDs = sortedset.Remove(o.addNodeIDs, id)
+			for _, l := range n.Labels {
+				o.addByLabel[l] = sortedset.Remove(o.addByLabel[l], id)
+				o.nodeLabelDelta[l]--
+			}
+		} else {
+			o.delNodes[id] = true
+			delete(o.modNodes, id)
+			for _, l := range n.Labels {
+				o.gainByLabel[l] = sortedset.Remove(o.gainByLabel[l], id)
+				o.nodeLabelDelta[l]--
+			}
+		}
+		delete(o.outAdd, id)
+		delete(o.inAdd, id)
+		delete(o.outDel, id)
+		delete(o.inDel, id)
+		return nil
+
+	case OpSetNodeProp:
+		id, err := o.resolve(op.Node, names)
+		if err != nil {
+			return err
+		}
+		rec.touchNode(id)
+		n := copyNode(o.Node(id))
+		n.Props[op.Key] = op.Value
+		o.storeNode(id, n)
+		return nil
+
+	case OpDelNodeProp:
+		id, err := o.resolve(op.Node, names)
+		if err != nil {
+			return err
+		}
+		cur := o.Node(id)
+		if _, has := cur.Props[op.Key]; !has {
+			return nil
+		}
+		rec.touchNode(id)
+		n := copyNode(cur)
+		delete(n.Props, op.Key)
+		o.storeNode(id, n)
+		return nil
+
+	case OpAddLabel:
+		id, err := o.resolve(op.Node, names)
+		if err != nil {
+			return err
+		}
+		cur := o.Node(id)
+		if cur.HasLabel(op.Label) {
+			return nil
+		}
+		rec.touchNode(id)
+		n := copyNode(cur)
+		n.Labels = normalizeLabels(append(n.Labels, op.Label))
+		if _, added := o.addNodes[id]; added {
+			o.addNodes[id] = n
+			o.addByLabel[op.Label] = sortedset.Insert(o.addByLabel[op.Label], id)
+		} else {
+			o.modNodes[id] = n
+			o.gainByLabel[op.Label] = sortedset.Insert(o.gainByLabel[op.Label], id)
+		}
+		o.nodeLabelDelta[op.Label]++
+		return nil
+
+	default:
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+}
+
+// storeNode installs a copy-on-write replacement for an existing node.
+func (o *Overlay) storeNode(id pg.OID, n *pg.Node) {
+	if _, added := o.addNodes[id]; added {
+		o.addNodes[id] = n
+		return
+	}
+	o.modNodes[id] = n
+}
+
+// removeEdge drops one merged edge, maintaining the adjacency delta of the
+// surviving endpoints.
+func (o *Overlay) removeEdge(id pg.OID, rec *recorder) error {
+	e := o.Edge(id)
+	if e == nil {
+		return fmt.Errorf("no edge with OID %d", id)
+	}
+	rec.touchEdge(id)
+	if _, added := o.addEdges[id]; added {
+		delete(o.addEdges, id)
+		o.addEdgeIDs = sortedset.Remove(o.addEdgeIDs, id)
+		o.addEdgeByLabel[e.Label] = sortedset.Remove(o.addEdgeByLabel[e.Label], id)
+		o.outAdd[e.From] = sortedset.Remove(o.outAdd[e.From], id)
+		o.inAdd[e.To] = sortedset.Remove(o.inAdd[e.To], id)
+	} else {
+		o.delEdges[id] = true
+		o.outDel[e.From] = sortedset.Insert(o.outDel[e.From], id)
+		o.inDel[e.To] = sortedset.Insert(o.inDel[e.To], id)
+	}
+	o.edgeLabelDelta[e.Label]--
+	return nil
+}

@@ -413,6 +413,22 @@ func (f *Frozen) EdgeLabels() []string {
 // be mutated.
 func (f *Frozen) Symbols() *symtab.Table { return f.syms }
 
+// MaxOID returns the largest OID in the snapshot, or 0 when it is empty.
+// Writers layering mutations over a snapshot (internal/overlay) allocate
+// fresh OIDs strictly above it, which matches where Thaw's allocator
+// resumes — so overlay-assigned and thaw-and-mutate-assigned OIDs agree.
+// Column-only: it never materializes the facade.
+func (f *Frozen) MaxOID() OID {
+	var max OID
+	if n := len(f.nodeOIDs); n > 0 && f.nodeOIDs[n-1] > max {
+		max = f.nodeOIDs[n-1]
+	}
+	if m := len(f.edgeOIDs); m > 0 && f.edgeOIDs[m-1] > max {
+		max = f.edgeOIDs[m-1]
+	}
+	return max
+}
+
 // NodeProp reads one node property from the columnar storage without
 // touching the facade: a binary search over the node's key-symbol window.
 // It reports false for an absent node or key.

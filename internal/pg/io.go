@@ -61,6 +61,17 @@ func fromJSONValue(j jsonValue) (value.Value, error) {
 	}
 }
 
+// JSONValue is the exported name of the kind-tagged wire form, so other
+// layers (the serving layer's /mutate payload) reuse the exact value encoding
+// of the graph files instead of inventing a second one.
+type JSONValue = jsonValue
+
+// EncodeValue returns the wire form of a property value.
+func EncodeValue(v value.Value) JSONValue { return toJSONValue(v) }
+
+// DecodeValue parses the wire form of a property value.
+func DecodeValue(j JSONValue) (value.Value, error) { return fromJSONValue(j) }
+
 type jsonNode struct {
 	ID     int64                `json:"id"`
 	Labels []string             `json:"labels,omitempty"`

@@ -56,3 +56,63 @@ func FuzzDecodeQuery(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeMutation exercises the /mutate request decoder — raw client
+// bytes that become graph mutations. The contract: decodeMutateRequest
+// either returns a non-empty batch of structurally valid ops or a typed
+// apiError; it never panics. Deep validation (ref resolution, duplicate
+// handles) is deliberately out of scope here — it runs in overlay.Apply
+// against live state, and its failures must also never tear the serving
+// snapshot (TestChaosMutateSweep). make fuzz-smoke gives this a short
+// budget.
+func FuzzDecodeMutation(f *testing.F) {
+	seeds := []string{
+		`{"ops":[{"op":"add_node","name":"h","labels":["Business"],"props":{"fiscalCode":{"kind":"string","str":"c"}}}]}`,
+		`{"ops":[{"op":"add_edge","from":{"id":1},"to":{"name":"h"},"label":"OWNS","props":{"percentage":{"kind":"float","float":0.5}}}]}`,
+		`{"ops":[{"op":"remove_node","node":{"id":3}}]}`,
+		`{"ops":[{"op":"remove_edge","edge":7}]}`,
+		`{"ops":[{"op":"set_node_prop","node":{"id":3},"key":"name","value":{"kind":"string","str":"x"}}]}`,
+		`{"ops":[{"op":"set_node_prop","node":{"id":3},"key":"name"}]}`,
+		`{"ops":[{"op":"del_node_prop","node":{"id":3},"key":"name"}]}`,
+		`{"ops":[{"op":"add_label","node":{"id":3},"label":"Bank"}]}`,
+		`{"ops":[{"op":"explode"}]}`,
+		`{"ops":[]}`,
+		`{"ops":[{"op":"add_node","props":{"k":{"kind":"complex"}}}]}`,
+		`{"ops":[{"op":"add_node","props":{"k":{"kind":"int","int":9223372036854775807}}}]}`,
+		`{"ops":null}`,
+		`{"ops":[{"op":"add_node"},{"op":"add_node"}]} trailing`,
+		`{"op":[{}]}`,
+		`[]`,
+		`null`,
+		"\xff\xfe{\"ops\":[]}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, aerr := decodeMutateRequest(data)
+		if (ops == nil) == (aerr == nil) {
+			t.Fatalf("decoder must return exactly one of batch/error: ops=%v err=%v", ops, aerr)
+		}
+		if aerr != nil {
+			if aerr.Status < 400 || aerr.Status > 599 {
+				t.Fatalf("error status out of range: %d", aerr.Status)
+			}
+			if aerr.Code == "" {
+				t.Fatal("error with empty code")
+			}
+			return
+		}
+		if len(ops) == 0 || len(ops) > maxMutateOps {
+			t.Fatalf("decoder accepted invalid batch size %d", len(ops))
+		}
+		for i, op := range ops {
+			switch op.Kind {
+			case "add_node", "add_edge", "remove_node", "remove_edge",
+				"set_node_prop", "del_node_prop", "add_label":
+			default:
+				t.Fatalf("op %d: unvalidated kind %q", i, op.Kind)
+			}
+		}
+	})
+}

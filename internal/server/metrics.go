@@ -19,6 +19,12 @@ var (
 	mReloads   atomic.Int64 // successful snapshot swaps
 	mReloadErr atomic.Int64 // failed reloads (snapshot kept)
 
+	mMutates        atomic.Int64 // applied mutation batches
+	mMutateErr      atomic.Int64 // failed batches (snapshot kept)
+	mMutateFallback atomic.Int64 // batches that forced a full fact re-extract
+	mCompacts       atomic.Int64 // overlay-to-frozen compactions
+	mCompactErr     atomic.Int64 // failed compactions (overlay kept serving)
+
 	metricsOnce sync.Once
 )
 
@@ -27,6 +33,9 @@ type CounterSnapshot struct {
 	Requests, Errors, Rejected int64
 	CacheHits, CacheMisses     int64
 	Reloads, ReloadErrors      int64
+
+	Mutates, MutateErrors, MutateFallbacks int64
+	Compactions, CompactErrors             int64
 }
 
 // CountersSnapshot returns the current process-wide serving counters.
@@ -39,6 +48,12 @@ func CountersSnapshot() CounterSnapshot {
 		CacheMisses:  mMisses.Load(),
 		Reloads:      mReloads.Load(),
 		ReloadErrors: mReloadErr.Load(),
+
+		Mutates:         mMutates.Load(),
+		MutateErrors:    mMutateErr.Load(),
+		MutateFallbacks: mMutateFallback.Load(),
+		Compactions:     mCompacts.Load(),
+		CompactErrors:   mCompactErr.Load(),
 	}
 }
 
@@ -54,6 +69,11 @@ func registerExpvar() {
 		m.Set("cache_misses", expvar.Func(func() any { return mMisses.Load() }))
 		m.Set("reloads", expvar.Func(func() any { return mReloads.Load() }))
 		m.Set("reload_errors", expvar.Func(func() any { return mReloadErr.Load() }))
+		m.Set("mutates", expvar.Func(func() any { return mMutates.Load() }))
+		m.Set("mutate_errors", expvar.Func(func() any { return mMutateErr.Load() }))
+		m.Set("mutate_fallbacks", expvar.Func(func() any { return mMutateFallback.Load() }))
+		m.Set("compactions", expvar.Func(func() any { return mCompacts.Load() }))
+		m.Set("compact_errors", expvar.Func(func() any { return mCompactErr.Load() }))
 		expvar.Publish("kgserve", m)
 	})
 }

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metalog"
+	"repro/internal/overlay"
+	"repro/internal/pg"
+	"repro/internal/snapfile"
+)
+
+// The live write path. POST /mutate applies a batch of graph mutations on
+// top of the serving snapshot without rebuilding it: the batch goes into an
+// LSM-style overlay (internal/overlay) cloned from the current generation,
+// the extracted fact database is maintained incrementally from the batch's
+// net diff (metalog.ApplyFactsDelta), and the whole unit — merged view,
+// catalog, fact database — swaps in as the next generation. A failed batch
+// mutates only the clone, so the serving generation is untouched, bit for
+// bit.
+//
+// Compaction folds the overlay into a fresh frozen snapshot (the PR 4
+// two-phase discipline): the overlay's Compact reuses the freeze pipeline,
+// the catalog and facts are re-inferred from the new base, and optionally
+// the generation is persisted as a binary snapshot file. A failed compaction
+// keeps serving the overlay generation; generations never move backwards.
+
+// ErrBadMutation wraps batch-validation failures (unknown refs, duplicate
+// handles, removed targets…) so the handler can answer 400 instead of 500.
+var ErrBadMutation = errors.New("invalid mutation batch")
+
+// maxMutateOps bounds a single batch independently of the body cap.
+const maxMutateOps = 10_000
+
+// MutateInfo describes an applied mutation batch.
+type MutateInfo struct {
+	Generation   uint64 `json:"generation"`
+	Ops          int    `json:"ops"`
+	AddedNodes   int    `json:"addedNodes"`
+	AddedEdges   int    `json:"addedEdges"`
+	RemovedNodes int    `json:"removedNodes"`
+	RemovedEdges int    `json:"removedEdges"`
+	ChangedNodes int    `json:"changedNodes"`
+	// Incremental reports whether the fact database was maintained from the
+	// batch's diff; false means the batch grew the catalog (a new label or
+	// property column) and facts were re-extracted in full.
+	Incremental bool `json:"incremental"`
+	Nodes       int  `json:"nodes"`
+	Edges       int  `json:"edges"`
+	// DeltaSize is the overlay's delta entry count after the batch — the
+	// compaction debt of the serving generation.
+	DeltaSize int `json:"deltaSize"`
+	// Assigned maps the batch's add_node handles to their assigned OIDs, so
+	// clients can address created nodes in later batches.
+	Assigned map[string]int64 `json:"assigned,omitempty"`
+}
+
+// Mutate applies a batch of mutations as the next serving generation. The
+// batch is atomic at the serving boundary: it is applied to a clone of the
+// current overlay (or a fresh one over the frozen base), and only a fully
+// applied batch swaps in. On any error — validation, injected faults,
+// contained panics — the serving snapshot is untouched.
+func (s *Server) Mutate(ops []overlay.Op) (MutateInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	sn := s.current()
+	var next *snapshot
+	var info MutateInfo
+	err := fault.Guard("server/mutate", func() error {
+		ov := sn.ov
+		if ov == nil {
+			ov = overlay.New(sn.frozen)
+		} else {
+			ov = ov.Clone()
+		}
+		diff, err := ov.Apply(ops)
+		if err != nil {
+			if errors.Is(err, fault.ErrInjected) {
+				return err
+			}
+			return fmt.Errorf("%w: %v", ErrBadMutation, err)
+		}
+		db, ok := metalog.ApplyFactsDelta(sn.db, sn.cat, diff)
+		cat := sn.cat
+		if !ok {
+			// The batch needs columns the lineage catalog lacks: re-infer
+			// the catalog from the merged view and re-extract in full.
+			mMutateFallback.Add(1)
+			cat = metalog.FromGraph(ov)
+			if db, err = metalog.ExtractFacts(ov, cat); err != nil {
+				return err
+			}
+		}
+		next = &snapshot{frozen: sn.frozen, view: ov, ov: ov, cat: cat, db: db,
+			build: sn.build, file: sn.file}
+		info = MutateInfo{
+			Ops:          len(ops),
+			AddedNodes:   len(diff.AddedNodes),
+			AddedEdges:   len(diff.AddedEdges),
+			RemovedNodes: len(diff.RemovedNodes),
+			RemovedEdges: len(diff.RemovedEdges),
+			ChangedNodes: len(diff.ChangedNodes),
+			Incremental:  ok,
+			DeltaSize:    ov.DeltaSize(),
+		}
+		if len(diff.Handles) > 0 {
+			info.Assigned = make(map[string]int64, len(diff.Handles))
+			for name, id := range diff.Handles {
+				info.Assigned[name] = int64(id)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		mMutateErr.Add(1)
+		return MutateInfo{}, err
+	}
+	next.gen = sn.gen + 1
+	s.snap.Store(next)
+	mMutates.Add(1)
+	info.Generation = next.gen
+	info.Nodes = next.view.NumNodes()
+	info.Edges = next.view.NumEdges()
+	return info, nil
+}
+
+// CompactInfo describes a compaction outcome.
+type CompactInfo struct {
+	Generation uint64 `json:"generation"`
+	// Compacted is false when there was no overlay to fold (no-op; the
+	// generation is unchanged).
+	Compacted bool   `json:"compacted"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Path      string `json:"path,omitempty"`
+}
+
+// Compact folds the live overlay into a fresh frozen generation, re-deriving
+// the query substrate from the new base and (when Config.CompactDir is set)
+// persisting it as a binary snapshot file. Without a pending overlay it is a
+// no-op. On failure the overlay generation keeps serving.
+func (s *Server) Compact() (CompactInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	sn := s.current()
+	if sn.ov == nil {
+		return CompactInfo{Generation: sn.gen, Compacted: false,
+			Nodes: sn.view.NumNodes(), Edges: sn.view.NumEdges()}, nil
+	}
+	var next *snapshot
+	var path string
+	err := fault.Guard("server/compact", func() error {
+		frozen, err := sn.ov.Compact()
+		if err != nil {
+			return err
+		}
+		ns, err := s.buildFromFrozen(frozen, nil)
+		if err != nil {
+			return err
+		}
+		if dir := s.cfg.CompactDir; dir != "" {
+			path = filepath.Join(dir, fmt.Sprintf("gen%06d.snap", sn.gen+1))
+			info := snapfile.BuildInfo{Tool: "kgserve", Source: "compaction",
+				CreatedUnix: time.Now().Unix()}
+			if _, err := snapfile.WriteFile(path, frozen, info); err != nil {
+				return err
+			}
+		}
+		next = ns
+		return nil
+	})
+	if err != nil {
+		mCompactErr.Add(1)
+		return CompactInfo{}, err
+	}
+	next.gen = sn.gen + 1
+	s.snap.Store(next)
+	mCompacts.Add(1)
+	return CompactInfo{Generation: next.gen, Compacted: true,
+		Nodes: next.view.NumNodes(), Edges: next.view.NumEdges(), Path: path}, nil
+}
+
+// startAutoCompact launches the periodic compactor when configured.
+func (s *Server) startAutoCompact() {
+	if s.cfg.CompactEvery <= 0 {
+		return
+	}
+	s.compactStop = make(chan struct{})
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		t := time.NewTicker(s.cfg.CompactEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.compactStop:
+				return
+			case <-t.C:
+				// Failures are counted (compact_errors) and retried on the
+				// next tick; the overlay generation keeps serving meanwhile.
+				s.Compact() //nolint:errcheck
+			}
+		}
+	}()
+}
+
+// stopAutoCompact stops and joins the compactor; safe to call repeatedly.
+func (s *Server) stopAutoCompact() {
+	if s.compactStop == nil {
+		return
+	}
+	s.compactOnce.Do(func() { close(s.compactStop) })
+	s.compactWG.Wait()
+}
+
+// ---- request decoding ----
+
+// jsonRef names a node either by OID or by the in-batch handle of an
+// add_node op.
+type jsonRef struct {
+	ID   int64  `json:"id,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+func (j *jsonRef) toRef() overlay.Ref {
+	if j == nil {
+		return overlay.Ref{}
+	}
+	return overlay.Ref{ID: pg.OID(j.ID), Name: j.Name}
+}
+
+// jsonOp is one mutation of the POST /mutate payload. Fields are per-kind:
+//
+//	{"op":"add_node","name":"h","labels":["Company"],"props":{...}}
+//	{"op":"add_edge","from":{"id":3},"to":{"name":"h"},"label":"owns","props":{...}}
+//	{"op":"remove_node","node":{"id":3}}
+//	{"op":"remove_edge","edge":7}
+//	{"op":"set_node_prop","node":{"id":3},"key":"name","value":{"kind":"string","str":"x"}}
+//	{"op":"del_node_prop","node":{"id":3},"key":"name"}
+//	{"op":"add_label","node":{"id":3},"label":"Bank"}
+//
+// Property values use the same kind-tagged encoding as the graph JSON files.
+type jsonOp struct {
+	Op     string                  `json:"op"`
+	Name   string                  `json:"name,omitempty"`
+	Labels []string                `json:"labels,omitempty"`
+	Label  string                  `json:"label,omitempty"`
+	Props  map[string]pg.JSONValue `json:"props,omitempty"`
+	Node   *jsonRef                `json:"node,omitempty"`
+	From   *jsonRef                `json:"from,omitempty"`
+	To     *jsonRef                `json:"to,omitempty"`
+	Edge   int64                   `json:"edge,omitempty"`
+	Key    string                  `json:"key,omitempty"`
+	Value  *pg.JSONValue           `json:"value,omitempty"`
+}
+
+type mutateRequest struct {
+	Ops []jsonOp `json:"ops"`
+}
+
+func (j *jsonOp) toOp() (overlay.Op, error) {
+	op := overlay.Op{
+		Kind:  overlay.OpKind(j.Op),
+		Name:  j.Name,
+		Label: j.Label,
+		Node:  j.Node.toRef(),
+		From:  j.From.toRef(),
+		To:    j.To.toRef(),
+		Edge:  pg.OID(j.Edge),
+		Key:   j.Key,
+	}
+	switch op.Kind {
+	case overlay.OpAddNode, overlay.OpAddEdge, overlay.OpRemoveNode,
+		overlay.OpRemoveEdge, overlay.OpDelNodeProp, overlay.OpAddLabel:
+	case overlay.OpSetNodeProp:
+		if j.Value == nil {
+			return overlay.Op{}, errors.New("set_node_prop needs a value")
+		}
+	default:
+		return overlay.Op{}, fmt.Errorf("unknown op kind %q", j.Op)
+	}
+	op.Labels = append([]string(nil), j.Labels...)
+	if len(j.Props) > 0 {
+		op.Props = make(pg.Props, len(j.Props))
+		for k, jv := range j.Props {
+			v, err := pg.DecodeValue(jv)
+			if err != nil {
+				return overlay.Op{}, fmt.Errorf("prop %q: %w", k, err)
+			}
+			op.Props[k] = v
+		}
+	}
+	if j.Value != nil {
+		v, err := pg.DecodeValue(*j.Value)
+		if err != nil {
+			return overlay.Op{}, fmt.Errorf("value: %w", err)
+		}
+		op.Value = v
+	}
+	return op, nil
+}
+
+// decodeMutateRequest parses and validates a /mutate body. It is the surface
+// FuzzDecodeMutation exercises: any input must produce either a batch or a
+// typed error, never a panic. Deep validation (ref resolution, duplicate
+// handles) stays in overlay.Apply, against live state.
+func decodeMutateRequest(body []byte) ([]overlay.Op, *apiError) {
+	var req mutateRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		return nil, errBadRequest("decoding mutate request: %v", err)
+	}
+	if len(req.Ops) == 0 {
+		return nil, errBadRequest("empty mutation batch")
+	}
+	if len(req.Ops) > maxMutateOps {
+		return nil, errBadRequest("batch exceeds %d ops", maxMutateOps)
+	}
+	ops := make([]overlay.Op, len(req.Ops))
+	for i := range req.Ops {
+		op, err := req.Ops[i].toOp()
+		if err != nil {
+			return nil, errBadRequest("op %d: %v", i, err)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// ---- endpoint handlers ----
+
+func (s *Server) handleMutate(r *http.Request) (*apiResult, *apiError) {
+	body, aerr := readBody(r.Body, s.cfg.MaxBody)
+	if aerr != nil {
+		return nil, aerr
+	}
+	ops, aerr := decodeMutateRequest(body)
+	if aerr != nil {
+		return nil, aerr
+	}
+	info, err := s.Mutate(ops)
+	if err != nil {
+		if errors.Is(err, ErrBadMutation) {
+			return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_mutation", Message: err.Error()}
+		}
+		e := mapEvalError(err)
+		if e.Code == "eval_failed" {
+			e.Code = "mutate_failed"
+		}
+		return nil, e
+	}
+	out, aerr := marshalBody(info)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &apiResult{body: out, gen: info.Generation}, nil
+}
+
+func (s *Server) handleCompact(*http.Request) (*apiResult, *apiError) {
+	info, err := s.Compact()
+	if err != nil {
+		e := mapEvalError(err)
+		if e.Code == "eval_failed" {
+			e.Code = "compact_failed"
+		}
+		return nil, e
+	}
+	out, aerr := marshalBody(info)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &apiResult{body: out, gen: info.Generation}, nil
+}

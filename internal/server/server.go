@@ -47,6 +47,7 @@ import (
 	"repro/internal/metalog"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/overlay"
 	"repro/internal/pg"
 	"repro/internal/snapfile"
 	"repro/internal/supermodel"
@@ -104,6 +105,14 @@ type Config struct {
 	// MaxBody caps request body bytes (defaults to 1 MiB).
 	MaxBody int64
 
+	// CompactEvery starts a background compactor that folds the live write
+	// overlay into a fresh frozen generation at this interval; 0 disables
+	// it (compaction stays available through POST /compact).
+	CompactEvery time.Duration
+	// CompactDir, when set, persists every compacted generation as a binary
+	// snapshot file (snapfile format) in this directory.
+	CompactDir string
+
 	// Retry is the load-retry policy applied to dictionary reads.
 	Retry fault.RetryPolicy
 	// OnFault is the engine failure policy for query evaluation.
@@ -140,8 +149,18 @@ func (c Config) withDefaults() Config {
 type snapshot struct {
 	gen    uint64
 	frozen *pg.Frozen
-	cat    *metalog.Catalog
-	db     *vadalog.Database
+	// view is what every read endpoint consumes: the frozen base itself
+	// when no writes are pending, or the live overlay layered over it once
+	// POST /mutate has applied batches. Readers never observe a generation
+	// gap — the pointer swap installs view, catalog and fact database as
+	// one unit.
+	view pg.View
+	// ov is the mutable delta this generation serves through view; nil for
+	// purely frozen generations. It is never mutated in place: Mutate
+	// clones it, applies the batch to the clone, and swaps.
+	ov  *overlay.Overlay
+	cat *metalog.Catalog
+	db  *vadalog.Database
 
 	// build is the provenance header of the snapshot file this generation
 	// was opened from; nil for JSON loads and in-memory graphs. Surfaced by
@@ -168,9 +187,15 @@ type Server struct {
 	mux   *http.ServeMux
 	http  *http.Server
 
-	// reloadMu serializes snapshot builds so generations are assigned in
-	// swap order; readers never take it.
+	// reloadMu serializes snapshot builds — reloads, mutation batches and
+	// compactions — so generations are assigned in swap order; readers
+	// never take it.
 	reloadMu sync.Mutex
+
+	// Background compactor lifecycle (see startAutoCompact / Shutdown).
+	compactStop chan struct{}
+	compactOnce sync.Once
+	compactWG   sync.WaitGroup
 }
 
 // New builds a server from cfg, loading and freezing cfg.Source.
@@ -185,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	first.gen = 1
 	s.snap.Store(first)
+	s.startAutoCompact()
 	return s, nil
 }
 
@@ -199,6 +225,7 @@ func NewFromGraph(cfg Config, g *pg.Graph) (*Server, error) {
 	}
 	first.gen = 1
 	s.snap.Store(first)
+	s.startAutoCompact()
 	return s, nil
 }
 
@@ -217,6 +244,8 @@ func newServer(cfg Config) *Server {
 	s.mux.Handle("/validate", s.endpoint("validate", http.MethodPost, true, s.handleValidate))
 	s.mux.Handle("/schema", s.endpoint("schema", http.MethodGet, false, s.handleSchema))
 	s.mux.Handle("/reload", s.endpoint("reload", http.MethodPost, false, s.handleReload))
+	s.mux.Handle("/mutate", s.endpoint("mutate", http.MethodPost, false, s.handleMutate))
+	s.mux.Handle("/compact", s.endpoint("compact", http.MethodPost, false, s.handleCompact))
 	if cfg.Debug {
 		registerExpvar()
 		obs.RegisterExpvar()
@@ -264,9 +293,11 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown gracefully stops the server: the listener closes immediately,
-// in-flight requests run to completion (bounded by ctx), and the compute
-// pool is drained before returning.
+// the background compactor (if any) is stopped and joined, in-flight
+// requests run to completion (bounded by ctx), and the compute pool is
+// drained before returning.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopAutoCompact()
 	err := s.http.Shutdown(ctx)
 	s.pool.drain()
 	return err
@@ -326,7 +357,7 @@ func (s *Server) buildFromFrozen(frozen *pg.Frozen, build *snapfile.BuildInfo) (
 	if err != nil {
 		return nil, fmt.Errorf("server: extracting facts: %w", err)
 	}
-	return &snapshot{frozen: frozen, cat: cat, db: db, build: build}, nil
+	return &snapshot{frozen: frozen, view: frozen, cat: cat, db: db, build: build}, nil
 }
 
 // ReloadInfo describes a completed snapshot swap.
@@ -437,7 +468,7 @@ func (s *Server) handleHealthz(*http.Request) (*apiResult, *apiError) {
 		Generation uint64 `json:"generation"`
 		Nodes      int    `json:"nodes"`
 		Edges      int    `json:"edges"`
-	}{"ok", sn.gen, sn.frozen.NumNodes(), sn.frozen.NumEdges()})
+	}{"ok", sn.gen, sn.view.NumNodes(), sn.view.NumEdges()})
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +523,7 @@ func (s *Server) handleQuery(r *http.Request) (*apiResult, *apiError) {
 		// no columns for. Re-extract against a fresh catalog clone so those
 		// layouts materialize as null columns — slower, but the result is
 		// still cached under this generation.
-		rows, err = metalog.QueryWithCatalogCtx(ctx, sn.frozen, sn.cat.Clone(), req.Query, opts)
+		rows, err = metalog.QueryWithCatalogCtx(ctx, sn.view, sn.cat.Clone(), req.Query, opts)
 	}
 	if err != nil {
 		return nil, mapEvalError(err)
@@ -557,7 +588,7 @@ func cellJSON(v value.Value) any {
 func (s *Server) handleStats(*http.Request) (*apiResult, *apiError) {
 	sn := s.current()
 	sn.statsOnce.Do(func() {
-		st := graphstats.Compute(sn.frozen)
+		st := graphstats.Compute(sn.view)
 		// Snapshot-file generations carry their provenance header; plain
 		// JSON generations marshal the bare stats, so existing outputs stay
 		// bit-identical.
@@ -599,8 +630,8 @@ func (s *Server) handleValidate(r *http.Request) (*apiResult, *apiError) {
 		return nil, errBadRequest("translating schema: %v", err)
 	}
 	sn := s.current()
-	violations := models.ValidateInstance(sn.frozen, view)
-	violations = append(violations, models.ValidateModifiers(sn.frozen, s.cfg.Schema)...)
+	violations := models.ValidateInstance(sn.view, view)
+	violations = append(violations, models.ValidateModifiers(sn.view, s.cfg.Schema)...)
 	out, aerr := marshalBody(struct {
 		Schema     string             `json:"schema"`
 		Strategy   string             `json:"strategy"`

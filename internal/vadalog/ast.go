@@ -138,6 +138,12 @@ type Rule struct {
 	Body []Literal
 	// Line is the 1-based source line of the rule, for diagnostics.
 	Line int
+	// FirstMatchOnly stops the body traversal after the first complete match
+	// per binding of the leading atom. It is never set by the parser: the
+	// DRed re-derivation transformation (delta.go) sets it on guard-fronted
+	// variants, where the guard binds every variable of the guarded head and
+	// one witness therefore suffices to re-derive the fact.
+	FirstMatchOnly bool
 }
 
 func (r Rule) String() string {

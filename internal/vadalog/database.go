@@ -150,6 +150,13 @@ type Relation struct {
 	// the candidate facts value-by-value, so a hash collision costs a
 	// filtered copy, never a wrong answer.
 	indexes map[uint64]map[uint64][]int
+
+	// recycle marks a pooled scratch relation: Reset keeps the fact-slot
+	// backing array and InsertValues may overwrite slots beyond len(facts).
+	// It must stay false on any relation whose facts outlive its contents —
+	// live relations hand removed Fact headers to callers, and recycling
+	// would overwrite them in place.
+	recycle bool
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -163,6 +170,19 @@ func NewRelation(arity int) *Relation {
 
 // Len returns the number of facts.
 func (r *Relation) Len() int { return len(r.facts) }
+
+// Reset empties the relation while keeping its allocated capacity: the fact
+// slots, dedup buckets and per-mask index maps are all retained. The
+// maintenance path resets its pooled shadow relations between batches, so a
+// steady-state Apply stops paying slice and map regrowth for them.
+func (r *Relation) Reset() {
+	r.facts = r.facts[:0]
+	clear(r.dedup)
+	clear(r.dedupMore)
+	for _, idx := range r.indexes {
+		clear(idx)
+	}
+}
 
 // At returns the fact at the given position.
 func (r *Relation) At(pos int) Fact { return r.facts[pos] }
@@ -204,6 +224,41 @@ func (r *Relation) Insert(f Fact) (bool, error) {
 	if _, dup := r.dedupFind(h, f); dup {
 		return false, nil
 	}
+	r.insertNew(h, f)
+	return true, nil
+}
+
+// InsertValues is Insert for a caller-owned scratch tuple: the values are
+// copied into a fresh Fact only when no equal fact is present. Dup-heavy
+// emitters (a fixpoint round re-deriving mostly known facts) therefore pay
+// no allocation per duplicate.
+func (r *Relation) InsertValues(vals []value.Value) (bool, error) {
+	if len(vals) != r.Arity {
+		return false, fmt.Errorf("vadalog: arity mismatch: relation has arity %d, fact has %d", r.Arity, len(vals))
+	}
+	h := hashTuple(vals)
+	if _, dup := r.dedupFind(h, vals); dup {
+		return false, nil
+	}
+	var f Fact
+	if r.recycle && len(r.facts) < cap(r.facts) {
+		// A pooled relation reuses the fact slot a prior generation left
+		// behind the logical end of the slice.
+		if old := r.facts[:len(r.facts)+1][len(r.facts)]; cap(old) >= len(vals) {
+			f = old[:len(vals)]
+		}
+	}
+	if f == nil {
+		f = make(Fact, len(vals))
+	}
+	copy(f, vals)
+	r.insertNew(h, f)
+	return true, nil
+}
+
+// insertNew appends a fact known to be absent, updating the dedup table and
+// every materialized index. The relation takes ownership of f.
+func (r *Relation) insertNew(h uint64, f Fact) {
 	pos := len(r.facts)
 	if _, taken := r.dedup[h]; taken {
 		if r.dedupMore == nil {
@@ -218,7 +273,6 @@ func (r *Relation) Insert(f Fact) (bool, error) {
 		ph := projectHash(f, mask)
 		idx[ph] = append(idx[ph], pos)
 	}
-	return true, nil
 }
 
 // projectHash hashes the values at the masked positions of a tuple.
@@ -315,6 +369,187 @@ func (r *Relation) Lookup(mask uint64, boundVals []value.Value) []int {
 // All returns all facts in insertion order. The returned slice must not be
 // modified.
 func (r *Relation) All() []Fact { return r.facts }
+
+// Remove deletes the given facts from the relation and returns the facts
+// actually removed (facts that were absent, malformed, or listed twice are
+// skipped). Removal costs O(k) in the number of facts removed, not O(n) in
+// the relation size: each removed fact is unlinked from the dedup maps and
+// every posting list it appears in, and the relation's last fact is swapped
+// into the vacated position with its own entries repointed. Incremental
+// maintenance retracts a handful of facts from relations five orders of
+// magnitude larger, so a rebuild here would cost as much as the full
+// re-evaluation the maintenance layer exists to avoid.
+//
+// The relative order of the survivors is NOT preserved (the tail fact moves
+// down); posting lists DO stay ascending, which the engine's window
+// filtering binary-searches on. Because positions shift, Remove must never
+// run while an engine holds position windows over the relation — the
+// maintenance layer only calls it between evaluation phases.
+func (r *Relation) Remove(facts []Fact) []Fact {
+	return r.removeInto(nil, facts)
+}
+
+// removeInto is Remove accumulating into a caller-supplied buffer, so a
+// caller that drains the result between calls (the maintenance loop) reuses
+// one backing array instead of growing a fresh slice per relation.
+func (r *Relation) removeInto(removed []Fact, facts []Fact) []Fact {
+	for _, f := range facts {
+		if len(f) != r.Arity {
+			continue
+		}
+		h := hashTuple(f)
+		pos, ok := r.dedupFind(h, f)
+		if !ok {
+			continue // absent, or a duplicate of an earlier removal
+		}
+		removed = append(removed, r.facts[pos])
+		r.removeAt(pos, h)
+	}
+	return removed
+}
+
+// removeAt unlinks the fact at pos (whose full-tuple hash is h) and moves the
+// relation's last fact into its place.
+func (r *Relation) removeAt(pos int, h uint64) {
+	last := len(r.facts) - 1
+	gone := r.facts[pos]
+	r.dedupUnlink(h, int32(pos))
+	for mask, idx := range r.indexes {
+		ph := projectHash(gone, mask)
+		if lst := postingDelete(idx[ph], pos); len(lst) > 0 {
+			idx[ph] = lst
+		} else {
+			delete(idx, ph)
+		}
+	}
+	if pos != last {
+		moved := r.facts[last]
+		r.facts[pos] = moved
+		r.dedupRepoint(hashTuple(moved), int32(last), int32(pos))
+		for mask, idx := range r.indexes {
+			// last is the highest position in the relation, so it is the
+			// final element of its ascending posting list; drop it there and
+			// re-insert the fact at its new, lower position. If gone and
+			// moved share the bucket, the delete above left last in place.
+			mph := projectHash(moved, mask)
+			lst := idx[mph]
+			idx[mph] = postingInsert(lst[:len(lst)-1], pos)
+		}
+	}
+	r.facts[last] = nil // release the tail slot for GC
+	r.facts = r.facts[:last]
+}
+
+// dedupUnlink removes the dedup entry mapping hash h to position pos,
+// promoting an overflow position into the primary map when one exists.
+func (r *Relation) dedupUnlink(h uint64, pos int32) {
+	if p, ok := r.dedup[h]; ok && p == pos {
+		if more := r.dedupMore[h]; len(more) > 0 {
+			r.dedup[h] = more[len(more)-1]
+			r.shrinkMore(h, len(more)-1)
+		} else {
+			delete(r.dedup, h)
+		}
+		return
+	}
+	more := r.dedupMore[h]
+	for i, p := range more {
+		if p == pos {
+			more[i] = more[len(more)-1]
+			r.shrinkMore(h, len(more)-1)
+			return
+		}
+	}
+}
+
+// shrinkMore truncates the overflow list for h to n entries, dropping the
+// key entirely when none remain.
+func (r *Relation) shrinkMore(h uint64, n int) {
+	if n == 0 {
+		delete(r.dedupMore, h)
+	} else {
+		r.dedupMore[h] = r.dedupMore[h][:n]
+	}
+}
+
+// dedupRepoint rewrites the dedup entry for hash h from position from to
+// position to, wherever it lives.
+func (r *Relation) dedupRepoint(h uint64, from, to int32) {
+	if p, ok := r.dedup[h]; ok && p == from {
+		r.dedup[h] = to
+		return
+	}
+	more := r.dedupMore[h]
+	for i, p := range more {
+		if p == from {
+			more[i] = to
+			return
+		}
+	}
+}
+
+// postingDelete removes pos from an ascending posting list in place.
+func postingDelete(lst []int, pos int) []int {
+	i := sort.SearchInts(lst, pos)
+	if i >= len(lst) || lst[i] != pos {
+		return lst
+	}
+	return append(lst[:i], lst[i+1:]...)
+}
+
+// postingInsert inserts pos into an ascending posting list.
+func postingInsert(lst []int, pos int) []int {
+	i := sort.SearchInts(lst, pos)
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = pos
+	return lst
+}
+
+// VisitRange invokes fn for every fact position in [lo, hi) whose mask-selected
+// columns equal boundVals, in ascending position order, stopping at the first
+// error from fn. Candidates are verified lazily, one at a time, so a caller
+// that stops early (the engine's first-match cut) never pays for the rest of
+// the hash bucket. mask 0 visits the whole window.
+func (r *Relation) VisitRange(mask uint64, boundVals []value.Value, lo, hi int, fn func(pos int) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.facts) {
+		hi = len(r.facts)
+	}
+	if lo >= hi {
+		return nil
+	}
+	if mask == 0 {
+		for pos := lo; pos < hi; pos++ {
+			if err := fn(pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := r.ensureIndex(mask)
+	if bits.OnesCount64(mask&(1<<uint(r.Arity)-1)) != len(boundVals) {
+		return nil // malformed probe: bound values don't line up with the mask
+	}
+	h := uint64(fnvOffset64)
+	for _, v := range boundVals {
+		h = hashValue(h, v)
+	}
+	cand := idx[h]
+	cand = cand[sort.SearchInts(cand, lo):]
+	cand = cand[:sort.SearchInts(cand, hi)]
+	for _, pos := range cand {
+		if !r.factMatches(pos, mask, boundVals) {
+			continue
+		}
+		if err := fn(pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Sorted returns the facts sorted lexicographically by value order, for
 // deterministic output.
@@ -438,6 +673,23 @@ func (d *Database) Clone() *Database {
 		out.rels[pred] = nr
 	}
 	return out
+}
+
+// ReplaceFacts swaps the named relation for a fresh one holding the given
+// facts in the given order (deduplicated on insert). It lets maintenance
+// layers rebuild a relation in a canonical order — the incremental fact
+// extractor keeps extraction relations in ascending-OID order this way, so an
+// incrementally maintained database is indistinguishable from a freshly
+// extracted one, insertion order included.
+func (d *Database) ReplaceFacts(pred string, arity int, facts []Fact) error {
+	nr := NewRelation(arity)
+	for _, f := range facts {
+		if _, err := nr.Insert(f); err != nil {
+			return err
+		}
+	}
+	d.rels[pred] = nr
+	return nil
 }
 
 // MergeInto copies every fact of d into dst. It reports the number of facts

@@ -187,10 +187,20 @@ func newEngine(ctx context.Context, prog *Program, db *Database, opts Options) (
 	if err != nil {
 		return nil, err
 	}
+	return newEngineAnalyzed(ctx, prog, an, db, opts, nil)
+}
+
+// newEngineAnalyzed is newEngine for callers that already hold the program's
+// analysis — the maintenance path runs the same three derived programs on
+// every batch and re-analyzing them per Apply would dominate small batches.
+// cached, when non-nil, supplies pre-compiled rules for the same program; it
+// is only sound for aggregate-free programs evaluated one run at a time,
+// because aggregate rules accumulate state in their compiled form.
+func newEngineAnalyzed(ctx context.Context, prog *Program, an *Analysis, db *Database, opts Options, cached []*cRule) (*engine, error) {
 	if opts.RequireWarded && !an.Warded {
 		return nil, fmt.Errorf("vadalog: program is not warded: %s", strings.Join(an.Violations, "; "))
 	}
-	e := &engine{prog: prog, an: an, db: db, opts: opts, ctx: ctx}
+	e := &engine{prog: prog, an: an, db: db, opts: opts, ctx: ctx, cachedRules: cached}
 	if e.ctx == nil {
 		e.ctx = context.Background()
 	}
@@ -272,9 +282,15 @@ type engine struct {
 	// run is sequential (Workers <= 1, or Provenance is on).
 	pool *workerPool
 
-	rules   []*cRule
-	rounds  int
-	derived int
+	rules       []*cRule
+	cachedRules []*cRule // pre-compiled rules to adopt instead of compiling
+	rounds      int
+	derived     int
+
+	// headScratch is the reusable head-tuple buffer of the sequential emit
+	// sink; parallel shards buffer emissions per shard instead and never
+	// call emit.
+	headScratch []value.Value
 
 	// Provenance bookkeeping (Options.Provenance): the stack of body facts
 	// matched by the evaluation in progress, and the first derivation of
@@ -515,8 +531,12 @@ func (e *engine) prepare() error {
 			return err
 		}
 	}
+	if e.cachedRules != nil {
+		e.rules = e.cachedRules
+		return nil
+	}
 	for i := range e.prog.Rules {
-		cr, err := e.compileRule(i)
+		cr, err := compileProgRule(e.prog, i)
 		if err != nil {
 			return err
 		}
@@ -525,8 +545,11 @@ func (e *engine) prepare() error {
 	return nil
 }
 
-func (e *engine) compileRule(idx int) (*cRule, error) {
-	r := e.prog.Rules[idx]
+// compileProgRule compiles one rule of the program. The result depends only
+// on the program text, so callers that re-run the same program (the
+// maintenance path) compile once and reuse.
+func compileProgRule(prog *Program, idx int) (*cRule, error) {
+	r := prog.Rules[idx]
 	cr := &cRule{idx: idx, rule: r, slots: map[string]int{}, aggStep: -1,
 		existFunctors: map[string]string{}, aggState: map[string]*aggAccum{}}
 	slotOf := func(name string) int {
@@ -996,13 +1019,30 @@ type evalCtx struct {
 	firings int64
 	probes  int64
 
+	// keyBufs holds one reusable lookup-key buffer per step depth, so keyed
+	// probes don't allocate per candidate binding. Depths never re-enter
+	// themselves within one traversal, and Lookup/VisitRange only read the
+	// key synchronously, so per-depth reuse is safe.
+	keyBufs [][]value.Value
+
 	onMatch func() error
 }
+
+// errFirstMatch unwinds a FirstMatchOnly traversal back to the leading atom
+// after a complete match: the guarded head is fully bound there, so further
+// witnesses for the same guard binding can only re-emit the same fact.
+var errFirstMatch = errors.New("vadalog: first match found")
 
 func (c *evalCtx) step(si int) error {
 	if si == c.limit {
 		c.firings++
-		return c.onMatch()
+		if err := c.onMatch(); err != nil {
+			return err
+		}
+		if c.cr.rule.FirstMatchOnly {
+			return errFirstMatch
+		}
+		return nil
 	}
 	e, cr, slots := c.e, c.cr, c.slots
 	st := &cr.steps[si]
@@ -1046,6 +1086,11 @@ func (c *evalCtx) step(si int) error {
 				if e.prov != nil {
 					e.parentStack = e.parentStack[:len(e.parentStack)-1]
 				}
+				if err == errFirstMatch && si == 0 {
+					// This leading-atom binding is satisfied; move on to
+					// the next one instead of enumerating more witnesses.
+					err = nil
+				}
 				if err != nil {
 					return err
 				}
@@ -1055,31 +1100,13 @@ func (c *evalCtx) step(si int) error {
 			}
 			return nil
 		}
-		if st.staticMask == 0 {
-			// Unkeyed scan: iterate the window directly instead of
-			// materializing a full position list.
-			for pos := lo; pos < hi; pos++ {
-				if err := visit(pos); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		positions := rel.Lookup(st.staticMask, stepKey(st, slots))
-		// positions are ascending; restrict to [lo,hi).
-		from := sort.SearchInts(positions, lo)
-		for _, pos := range positions[from:] {
-			if pos >= hi {
-				break
-			}
-			if err := visit(pos); err != nil {
-				return err
-			}
-		}
-		return nil
+		// Range-restricted probe: the window is applied before collision
+		// verification, and candidates are verified lazily so a
+		// FirstMatchOnly cut stops before the rest of the bucket is checked.
+		return rel.VisitRange(st.staticMask, c.stepKey(si, st), lo, hi, visit)
 	case stepNeg:
 		rel := e.db.Relation(st.pred)
-		keyVals := stepKey(st, slots)
+		keyVals := c.stepKey(si, st)
 		positions := rel.Lookup(st.staticMask, keyVals)
 		if len(positions) > 0 {
 			return nil // some matching fact exists: negation fails
@@ -1119,17 +1146,26 @@ func (c *evalCtx) step(si int) error {
 	}
 }
 
-// stepKey extracts the lookup key values for the statically bound positions.
-func stepKey(st *cStep, slots []value.Value) []value.Value {
+// stepKey fills this depth's reusable buffer with the lookup key values for
+// the step's statically bound positions.
+func (c *evalCtx) stepKey(si int, st *cStep) []value.Value {
 	if st.staticMask == 0 {
 		return nil
 	}
-	out := make([]value.Value, len(st.staticKeySlots))
+	if c.keyBufs == nil {
+		c.keyBufs = make([][]value.Value, len(c.cr.steps))
+	}
+	out := c.keyBufs[si]
+	if cap(out) < len(st.staticKeySlots) {
+		out = make([]value.Value, len(st.staticKeySlots))
+		c.keyBufs[si] = out
+	}
+	out = out[:len(st.staticKeySlots)]
 	for i, slot := range st.staticKeySlots {
 		if slot < 0 {
 			out[i] = st.staticKeyConst[i]
 		} else {
-			out[i] = slots[slot]
+			out[i] = c.slots[slot]
 		}
 	}
 	return out
@@ -1306,32 +1342,48 @@ func (e *engine) emitAggGroups(cr *cRule, groups map[string]*aggAccum) (int, err
 }
 
 // emit instantiates the rule heads under the current slots and inserts the
-// resulting facts directly (the sequential sink).
+// resulting facts directly (the sequential sink). Head values are resolved
+// into a reusable scratch tuple and copied only on genuine insertion
+// (Relation.InsertValues), so the duplicate firings of a fixpoint round —
+// usually the majority — allocate nothing.
 func (e *engine) emit(cr *cRule, slots []value.Value) (int, error) {
+	exVals := skolemExVals(cr, slots)
 	inserted := 0
-	err := headFacts(cr, slots, func(pred string, f Fact) error {
-		rel := e.db.Relation(pred)
-		added, err := rel.Insert(f)
+	for hi := range cr.heads {
+		h := &cr.heads[hi]
+		if cap(e.headScratch) < len(h.args) {
+			e.headScratch = make([]value.Value, len(h.args))
+		}
+		vals := e.headScratch[:len(h.args)]
+		for i := range h.args {
+			v, err := resolveHeadArg(cr, slots, exVals, &h.args[i])
+			if err != nil {
+				return inserted, err
+			}
+			vals[i] = v
+		}
+		rel := e.db.Relation(h.pred)
+		added, err := rel.InsertValues(vals)
 		if err != nil {
-			return err
+			return inserted, err
 		}
-		if added {
-			if e.prov != nil {
-				d := derivation{ruleIdx: cr.idx, line: cr.rule.Line, viaAggregate: e.inStratAgg}
-				if !e.inStratAgg {
-					d.parents = append([]parentRef(nil), e.parentStack...)
-				}
-				e.prov[provKey(pred, f)] = d
-			}
-			inserted++
-			e.derived++
-			if e.opts.MaxFacts > 0 && e.derived > e.opts.MaxFacts {
-				return errMaxFacts(e.opts.MaxFacts)
-			}
+		if !added {
+			continue
 		}
-		return nil
-	})
-	return inserted, err
+		if e.prov != nil {
+			d := derivation{ruleIdx: cr.idx, line: cr.rule.Line, viaAggregate: e.inStratAgg}
+			if !e.inStratAgg {
+				d.parents = append([]parentRef(nil), e.parentStack...)
+			}
+			e.prov[provKey(h.pred, rel.At(rel.Len()-1))] = d
+		}
+		inserted++
+		e.derived++
+		if e.opts.MaxFacts > 0 && e.derived > e.opts.MaxFacts {
+			return inserted, errMaxFacts(e.opts.MaxFacts)
+		}
+	}
+	return inserted, nil
 }
 
 func errMaxFacts(limit int) error {
@@ -1342,49 +1394,12 @@ func errMaxFacts(limit int) error {
 // hands the resulting facts to the sink. Existential variables are realized
 // with frontier-keyed Skolem identifiers shared across the head conjunction.
 func headFacts(cr *cRule, slots []value.Value, sink func(pred string, f Fact) error) error {
-	var exVals map[string]value.Value
-	if len(cr.existNames) > 0 {
-		frontier := make([]value.Value, len(cr.frontierSlots))
-		for i, s := range cr.frontierSlots {
-			frontier[i] = slots[s]
-		}
-		exVals = make(map[string]value.Value, len(cr.existNames))
-		for _, name := range cr.existNames {
-			exVals[name] = value.Skolem(cr.existFunctors[name], frontier...)
-		}
-	}
-	var resolve func(ha *cHeadArg) (value.Value, error)
-	resolve = func(ha *cHeadArg) (value.Value, error) {
-		switch ha.kind {
-		case headConst:
-			return ha.cval, nil
-		case headSlot:
-			v := slots[ha.slot]
-			if v.IsZero() {
-				return value.Value{}, fmt.Errorf("vadalog: rule %d: unbound head slot", cr.idx)
-			}
-			return v, nil
-		case headExist:
-			return exVals[ha.exName], nil
-		case headSkolem:
-			args := make([]value.Value, len(ha.skArgs))
-			for i := range ha.skArgs {
-				v, err := resolve(&ha.skArgs[i])
-				if err != nil {
-					return value.Value{}, err
-				}
-				args[i] = v
-			}
-			return value.Skolem(ha.functor, args...), nil
-		default:
-			return value.Value{}, fmt.Errorf("vadalog: invalid head argument")
-		}
-	}
+	exVals := skolemExVals(cr, slots)
 	for hi := range cr.heads {
 		h := &cr.heads[hi]
 		f := make(Fact, len(h.args))
 		for i := range h.args {
-			v, err := resolve(&h.args[i])
+			v, err := resolveHeadArg(cr, slots, exVals, &h.args[i])
 			if err != nil {
 				return err
 			}
@@ -1395,4 +1410,52 @@ func headFacts(cr *cRule, slots []value.Value, sink func(pred string, f Fact) er
 		}
 	}
 	return nil
+}
+
+// skolemExVals realizes the rule's existential head variables as
+// frontier-keyed Skolem values under the current slots; nil when the rule has
+// none.
+func skolemExVals(cr *cRule, slots []value.Value) map[string]value.Value {
+	if len(cr.existNames) == 0 {
+		return nil
+	}
+	frontier := make([]value.Value, len(cr.frontierSlots))
+	for i, s := range cr.frontierSlots {
+		frontier[i] = slots[s]
+	}
+	exVals := make(map[string]value.Value, len(cr.existNames))
+	for _, name := range cr.existNames {
+		exVals[name] = value.Skolem(cr.existFunctors[name], frontier...)
+	}
+	return exVals
+}
+
+// resolveHeadArg materializes one head argument under the current slots. A
+// top-level function rather than a closure inside headFacts: recursive
+// closures allocate, and this runs once per head argument per firing.
+func resolveHeadArg(cr *cRule, slots []value.Value, exVals map[string]value.Value, ha *cHeadArg) (value.Value, error) {
+	switch ha.kind {
+	case headConst:
+		return ha.cval, nil
+	case headSlot:
+		v := slots[ha.slot]
+		if v.IsZero() {
+			return value.Value{}, fmt.Errorf("vadalog: rule %d: unbound head slot", cr.idx)
+		}
+		return v, nil
+	case headExist:
+		return exVals[ha.exName], nil
+	case headSkolem:
+		args := make([]value.Value, len(ha.skArgs))
+		for i := range ha.skArgs {
+			v, err := resolveHeadArg(cr, slots, exVals, &ha.skArgs[i])
+			if err != nil {
+				return value.Value{}, err
+			}
+			args[i] = v
+		}
+		return value.Skolem(ha.functor, args...), nil
+	default:
+		return value.Value{}, fmt.Errorf("vadalog: invalid head argument")
+	}
 }
