@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr
+.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr bench-wal
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ test-chaos: build
 	$(GO) test -count=2 -run 'TestChaos|TestStratum|TestShard|TestBestEffort|TestRetry|TestWriteSites|TestMaterializeFlushErrorRollsBack' ./internal/instance/ ./internal/vadalog/ ./internal/pg/ ./internal/fault/ ./internal/server/
 	$(GO) test -count=2 -run 'TestWriteFileFaultsLeaveNoPartialFile|TestOpenMmapFaultFallsBack' ./internal/snapfile/
 	$(GO) test -count=2 -run 'TestReloadCorruptSnapshotKeepsServing|TestSnapshotMmapFaultStillServes' ./internal/server/
+	$(GO) test -count=2 -run 'TestFault|TestChaos' ./internal/wal/
 
 # fuzz-smoke gives each parser fuzz target a short budget — enough to shake
 # out regressions in the corpus without turning CI into a fuzzing farm.
@@ -45,6 +46,7 @@ fuzz-smoke: build
 	$(GO) test -fuzz '^FuzzDecodeQuery$$' -fuzztime 10s -run '^$$' ./internal/server/
 	$(GO) test -fuzz '^FuzzDecodeMutation$$' -fuzztime 10s -run '^$$' ./internal/server/
 	$(GO) test -fuzz '^FuzzOpenSnapshot$$' -fuzztime 10s -run '^$$' ./internal/snapfile/
+	$(GO) test -fuzz '^FuzzReplayWAL$$' -fuzztime 10s -run '^$$' ./internal/wal/
 
 # cover enforces the per-package coverage floors on the newest subsystems —
 # the serving layer and the on-disk snapshot format both carry the strictest
@@ -70,6 +72,12 @@ cover: build
 	echo "internal/overlay coverage: $$total% (floor 70%)"; \
 	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
 	{ echo "FAIL: internal/overlay coverage $$total% is below the 70% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover_wal.out ./internal/wal/
+	@total=$$($(GO) tool cover -func=cover_wal.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover_wal.out; \
+	echo "internal/wal coverage: $$total% (floor 70%)"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
+	{ echo "FAIL: internal/wal coverage $$total% is below the 70% floor"; exit 1; }
 
 # check is the tier-1 gate: vet + full suite, the race-detector pass, the
 # chaos sweep, the fuzz smoke test, and the coverage floor.
@@ -123,3 +131,15 @@ bench-incr: build
 	$(GO) test -run '^$$' -bench 'BenchmarkIncr' -benchmem ./internal/vadalog/ | tee BENCH_incr.txt
 	$(GO) run ./cmd/benchjson < BENCH_incr.txt > BENCH_incr.json
 	rm -f BENCH_incr.txt
+
+# bench-wal captures the E23 durability benchmarks (EXPERIMENTS.md) —
+# /mutate latency (mean plus p50/p99 custom metrics) with the write-ahead
+# log disabled and under each fsync policy — into BENCH_wal.json via
+# cmd/benchjson, and runs the E23 acceptance gate: the "interval" policy
+# must cost less than 10% over running with no WAL at all. The committed
+# file is the baseline, regenerate on comparable hardware before comparing.
+bench-wal: build
+	$(GO) test -run '^$$' -bench 'BenchmarkWALMutate' -benchtime 300x -benchmem ./internal/server/ | tee BENCH_wal.txt
+	RUN_WAL_GATE=1 $(GO) test -run '^TestWALIntervalOverheadGate$$' -count=1 ./internal/server/
+	$(GO) run ./cmd/benchjson < BENCH_wal.txt > BENCH_wal.json
+	rm -f BENCH_wal.txt

@@ -20,6 +20,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra collects custom b.ReportMetric units (e.g. the p50-ns/op and
+	// p99-ns/op latency percentiles of make bench-wal), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -49,6 +52,11 @@ func main() {
 				r.BytesPerOp = int64(v)
 			case "allocs/op":
 				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
 			}
 		}
 		out = append(out, r)

@@ -22,6 +22,12 @@
 //	                next generation (live write path over an overlay)
 //	POST /compact   fold the live overlay into a fresh frozen generation
 //
+// With -wal-dir, every applied mutation batch is logged durably before it is
+// acknowledged and replayed over the base snapshot on restart (crash
+// recovery; see kgwal and DESIGN.md §14). -wal-sync picks the fsync policy.
+// While the log replays on startup, every endpoint — /healthz included —
+// answers a typed 503 "recovering".
+//
 // With -debug, /debug/vars, /debug/pprof and /debug/latency are mounted.
 package main
 
@@ -56,6 +62,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	compactEvery := flag.Duration("compact-every", 0, "fold the live write overlay into a frozen generation at this interval (0 disables)")
 	compactDir := flag.String("compact-dir", "", "persist compacted generations as binary snapshots in this directory")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: log every /mutate batch before acknowledging and replay it on startup (empty disables durability)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval[:duration] or off")
 	debug := flag.Bool("debug", false, "mount /debug/vars, /debug/pprof and /debug/latency")
 	ff := cli.RegisterFaultFlags(flag.CommandLine, true)
 	flag.Parse()
@@ -105,9 +113,14 @@ func main() {
 		CacheSize:     *cache,
 		CompactEvery:  *compactEvery,
 		CompactDir:    *compactDir,
-		Retry:         ff.RetryPolicy(),
-		OnFault:       policy,
-		Debug:         *debug,
+		WALDir:        *walDir,
+		WALSync:       *walSync,
+		// Serve the readiness probe while the log replays: clients get a
+		// typed 503 "recovering" from every endpoint until the replay lands.
+		WALAsyncRecovery: *walDir != "",
+		Retry:            ff.RetryPolicy(),
+		OnFault:          policy,
+		Debug:            *debug,
 	})
 	if err != nil {
 		fatal(err)

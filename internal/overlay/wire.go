@@ -1,0 +1,176 @@
+package overlay
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/pg"
+)
+
+// The JSON wire format of mutation batches — the op encoding of the serving
+// layer's POST /mutate payload and, byte for byte, the record payload of the
+// write-ahead log (internal/wal). Keeping the codec here, next to the Op type
+// it serializes, gives both consumers one canonical form: EncodeOps is
+// deterministic (struct fields in declaration order, map keys sorted by
+// encoding/json), so logging a decoded batch and re-encoding it is stable
+// across processes, and a WAL record can be replayed — or POSTed — anywhere.
+//
+// One op per kind:
+//
+//	{"op":"add_node","name":"h","labels":["Company"],"props":{...}}
+//	{"op":"add_edge","from":{"id":3},"to":{"name":"h"},"label":"owns","props":{...}}
+//	{"op":"remove_node","node":{"id":3}}
+//	{"op":"remove_edge","edge":7}
+//	{"op":"set_node_prop","node":{"id":3},"key":"name","value":{"kind":"string","str":"x"}}
+//	{"op":"del_node_prop","node":{"id":3},"key":"name"}
+//	{"op":"add_label","node":{"id":3},"label":"Bank"}
+//
+// Property values use the same kind-tagged encoding as the graph JSON files
+// (pg.JSONValue).
+
+// jsonRef names a node either by OID or by the in-batch handle of an
+// add_node op.
+type jsonRef struct {
+	ID   int64  `json:"id,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+func (j *jsonRef) toRef() Ref {
+	if j == nil {
+		return Ref{}
+	}
+	return Ref{ID: pg.OID(j.ID), Name: j.Name}
+}
+
+func fromRef(r Ref) *jsonRef {
+	if r.ID == 0 && r.Name == "" {
+		return nil
+	}
+	return &jsonRef{ID: int64(r.ID), Name: r.Name}
+}
+
+// jsonOp is one mutation on the wire. Fields are per-kind (see the package
+// comment above).
+type jsonOp struct {
+	Op     string                  `json:"op"`
+	Name   string                  `json:"name,omitempty"`
+	Labels []string                `json:"labels,omitempty"`
+	Label  string                  `json:"label,omitempty"`
+	Props  map[string]pg.JSONValue `json:"props,omitempty"`
+	Node   *jsonRef                `json:"node,omitempty"`
+	From   *jsonRef                `json:"from,omitempty"`
+	To     *jsonRef                `json:"to,omitempty"`
+	Edge   int64                   `json:"edge,omitempty"`
+	Key    string                  `json:"key,omitempty"`
+	Value  *pg.JSONValue           `json:"value,omitempty"`
+}
+
+func (j *jsonOp) toOp() (Op, error) {
+	op := Op{
+		Kind:  OpKind(j.Op),
+		Name:  j.Name,
+		Label: j.Label,
+		Node:  j.Node.toRef(),
+		From:  j.From.toRef(),
+		To:    j.To.toRef(),
+		Edge:  pg.OID(j.Edge),
+		Key:   j.Key,
+	}
+	switch op.Kind {
+	case OpAddNode, OpAddEdge, OpRemoveNode,
+		OpRemoveEdge, OpDelNodeProp, OpAddLabel:
+	case OpSetNodeProp:
+		if j.Value == nil {
+			return Op{}, errors.New("set_node_prop needs a value")
+		}
+	default:
+		return Op{}, fmt.Errorf("unknown op kind %q", j.Op)
+	}
+	op.Labels = append([]string(nil), j.Labels...)
+	if len(j.Props) > 0 {
+		op.Props = make(pg.Props, len(j.Props))
+		for k, jv := range j.Props {
+			v, err := pg.DecodeValue(jv)
+			if err != nil {
+				return Op{}, fmt.Errorf("prop %q: %w", k, err)
+			}
+			op.Props[k] = v
+		}
+	}
+	if j.Value != nil {
+		v, err := pg.DecodeValue(*j.Value)
+		if err != nil {
+			return Op{}, fmt.Errorf("value: %w", err)
+		}
+		op.Value = v
+	}
+	return op, nil
+}
+
+func fromOp(op Op) jsonOp {
+	j := jsonOp{
+		Op:     string(op.Kind),
+		Name:   op.Name,
+		Labels: op.Labels,
+		Label:  op.Label,
+		Node:   fromRef(op.Node),
+		From:   fromRef(op.From),
+		To:     fromRef(op.To),
+		Edge:   int64(op.Edge),
+		Key:    op.Key,
+	}
+	if len(op.Props) > 0 {
+		j.Props = make(map[string]pg.JSONValue, len(op.Props))
+		for k, v := range op.Props {
+			j.Props[k] = pg.EncodeValue(v)
+		}
+	}
+	if op.Kind == OpSetNodeProp {
+		jv := pg.EncodeValue(op.Value)
+		j.Value = &jv
+	}
+	return j
+}
+
+// EncodeOps serializes a batch as a JSON array of wire ops. The encoding is
+// canonical — a pure function of the batch (map keys sorted, no timestamps)
+// — so equal batches produce byte-identical payloads wherever they are
+// encoded, which the WAL's replay differential relies on.
+func EncodeOps(ops []Op) ([]byte, error) {
+	out := make([]jsonOp, len(ops))
+	for i, op := range ops {
+		out[i] = fromOp(op)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: encoding ops: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeOps parses a JSON array of wire ops strictly: unknown fields,
+// trailing data and malformed per-kind shapes are errors, never panics.
+// Deep validation (ref resolution, duplicate handles) stays in Apply,
+// against live state.
+func DecodeOps(data []byte) ([]Op, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var raw []jsonOp
+	if err := dec.Decode(&raw); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after ops array")
+	}
+	ops := make([]Op, len(raw))
+	for i := range raw {
+		op, err := raw[i].toOp()
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}

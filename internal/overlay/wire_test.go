@@ -1,0 +1,157 @@
+package overlay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pg"
+	"repro/internal/value"
+)
+
+func wireBatch() []Op {
+	return []Op{
+		{Kind: OpAddNode, Name: "h", Labels: []string{"Company", "Holding"},
+			Props: pg.Props{"name": value.Str("Hold Co"), "assets": value.IntV(12)}},
+		{Kind: OpAddEdge, From: Ref{ID: 3}, To: Ref{Name: "h"}, Label: "owns",
+			Props: pg.Props{"weight": value.FloatV(0.4)}},
+		{Kind: OpSetNodeProp, Node: Ref{ID: 3}, Key: "active", Value: value.BoolV(true)},
+		{Kind: OpDelNodeProp, Node: Ref{ID: 3}, Key: "stale"},
+		{Kind: OpAddLabel, Node: Ref{Name: "h"}, Label: "Bank"},
+		{Kind: OpRemoveEdge, Edge: 7},
+		{Kind: OpRemoveNode, Node: Ref{ID: 9}},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	ops := wireBatch()
+	b, err := EncodeOps(ops)
+	if err != nil {
+		t.Fatalf("EncodeOps: %v", err)
+	}
+	got, err := DecodeOps(b)
+	if err != nil {
+		t.Fatalf("DecodeOps: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("round trip changed batch size: %d != %d", len(got), len(ops))
+	}
+	// Re-encoding the decoded batch must reproduce the bytes exactly — the
+	// WAL's replay differential depends on the encoding being canonical.
+	b2, err := EncodeOps(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("encoding is not canonical:\n first=%s\nsecond=%s", b, b2)
+	}
+}
+
+func TestWireEncodeDeterministic(t *testing.T) {
+	ops := wireBatch()
+	first, err := EncodeOps(ops)
+	if err != nil {
+		t.Fatalf("EncodeOps: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		b, err := EncodeOps(ops)
+		if err != nil {
+			t.Fatalf("EncodeOps: %v", err)
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatalf("encoding varies across calls:\n%s\n%s", first, b)
+		}
+	}
+}
+
+func TestWireRoundTripApplies(t *testing.T) {
+	// A decoded batch must behave identically to the original: apply both to
+	// overlays over the same base and compare the compacted results.
+	src := pg.New()
+	a := src.AddNode([]string{"Company"}, pg.Props{"name": value.Str("A")}).ID
+	b := src.AddNode([]string{"Company"}, pg.Props{"name": value.Str("B")}).ID
+	src.MustAddEdge(a, b, "owns", nil)
+	base := src.Freeze()
+
+	ops := []Op{
+		{Kind: OpAddNode, Name: "n", Labels: []string{"Company"},
+			Props: pg.Props{"name": value.Str("NewCo")}},
+		{Kind: OpAddEdge, From: Ref{ID: a}, To: Ref{Name: "n"}, Label: "owns"},
+		{Kind: OpSetNodeProp, Node: Ref{ID: b}, Key: "name", Value: value.Str("renamed")},
+	}
+	enc, err := EncodeOps(ops)
+	if err != nil {
+		t.Fatalf("EncodeOps: %v", err)
+	}
+	decoded, err := DecodeOps(enc)
+	if err != nil {
+		t.Fatalf("DecodeOps: %v", err)
+	}
+	ov1, ov2 := New(base), New(base)
+	if _, err := ov1.Apply(ops); err != nil {
+		t.Fatalf("apply original: %v", err)
+	}
+	if _, err := ov2.Apply(decoded); err != nil {
+		t.Fatalf("apply decoded: %v", err)
+	}
+	f1, err := ov1.Compact()
+	if err != nil {
+		t.Fatalf("compact original: %v", err)
+	}
+	f2, err := ov2.Compact()
+	if err != nil {
+		t.Fatalf("compact decoded: %v", err)
+	}
+	if f1.NumNodes() != f2.NumNodes() || f1.NumEdges() != f2.NumEdges() {
+		t.Fatalf("decoded batch diverged: %d/%d nodes, %d/%d edges",
+			f1.NumNodes(), f2.NumNodes(), f1.NumEdges(), f2.NumEdges())
+	}
+}
+
+func TestDecodeOpsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"not json", `{`, "unexpected"},
+		{"not array", `{"op":"add_node"}`, "cannot unmarshal"},
+		{"unknown field", `[{"op":"add_node","bogus":1}]`, "unknown field"},
+		{"trailing data", `[] []`, "trailing data"},
+		{"unknown kind", `[{"op":"explode"}]`, `unknown op kind "explode"`},
+		{"missing value", `[{"op":"set_node_prop","node":{"id":1},"key":"k"}]`, "needs a value"},
+		{"bad prop value", `[{"op":"add_node","name":"x","props":{"p":{"kind":"wat"}}}]`, `prop "p"`},
+		{"bad set value", `[{"op":"set_node_prop","node":{"id":1},"key":"k","value":{"kind":"wat"}}]`, "value:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeOps([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("DecodeOps(%s) succeeded, want error containing %q", tc.in, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("DecodeOps(%s) = %v, want error containing %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWireRefEncoding(t *testing.T) {
+	// Zero refs are omitted entirely; OID and handle refs keep their shape.
+	b, err := EncodeOps([]Op{{Kind: OpRemoveEdge, Edge: 7}})
+	if err != nil {
+		t.Fatalf("EncodeOps: %v", err)
+	}
+	if strings.Contains(string(b), "node") || strings.Contains(string(b), "from") {
+		t.Fatalf("zero refs leaked into encoding: %s", b)
+	}
+	b, err = EncodeOps([]Op{{Kind: OpAddEdge, From: Ref{ID: 3}, To: Ref{Name: "h"}, Label: "owns"}})
+	if err != nil {
+		t.Fatalf("EncodeOps: %v", err)
+	}
+	for _, want := range []string{`"from":{"id":3}`, `"to":{"name":"h"}`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("encoding %s missing %s", b, want)
+		}
+	}
+}

@@ -25,6 +25,12 @@ var (
 	mCompacts       atomic.Int64 // overlay-to-frozen compactions
 	mCompactErr     atomic.Int64 // failed compactions (overlay kept serving)
 
+	mWALAppends       atomic.Int64 // batches logged to the write-ahead log
+	mWALAppendErr     atomic.Int64 // failed appends (batch rejected)
+	mWALCheckpoints   atomic.Int64 // WAL truncation checkpoints stamped
+	mWALCheckpointErr atomic.Int64 // failed checkpoints (log kept, replay stays idempotent)
+	mWALReplayed      atomic.Int64 // batches replayed during crash recovery
+
 	metricsOnce sync.Once
 )
 
@@ -36,6 +42,10 @@ type CounterSnapshot struct {
 
 	Mutates, MutateErrors, MutateFallbacks int64
 	Compactions, CompactErrors             int64
+
+	WALAppends, WALAppendErrors         int64
+	WALCheckpoints, WALCheckpointErrors int64
+	WALReplayed                         int64
 }
 
 // CountersSnapshot returns the current process-wide serving counters.
@@ -54,6 +64,12 @@ func CountersSnapshot() CounterSnapshot {
 		MutateFallbacks: mMutateFallback.Load(),
 		Compactions:     mCompacts.Load(),
 		CompactErrors:   mCompactErr.Load(),
+
+		WALAppends:          mWALAppends.Load(),
+		WALAppendErrors:     mWALAppendErr.Load(),
+		WALCheckpoints:      mWALCheckpoints.Load(),
+		WALCheckpointErrors: mWALCheckpointErr.Load(),
+		WALReplayed:         mWALReplayed.Load(),
 	}
 }
 
@@ -74,6 +90,11 @@ func registerExpvar() {
 		m.Set("mutate_fallbacks", expvar.Func(func() any { return mMutateFallback.Load() }))
 		m.Set("compactions", expvar.Func(func() any { return mCompacts.Load() }))
 		m.Set("compact_errors", expvar.Func(func() any { return mCompactErr.Load() }))
+		m.Set("wal_appends", expvar.Func(func() any { return mWALAppends.Load() }))
+		m.Set("wal_append_errors", expvar.Func(func() any { return mWALAppendErr.Load() }))
+		m.Set("wal_checkpoints", expvar.Func(func() any { return mWALCheckpoints.Load() }))
+		m.Set("wal_checkpoint_errors", expvar.Func(func() any { return mWALCheckpointErr.Load() }))
+		m.Set("wal_replayed", expvar.Func(func() any { return mWALReplayed.Load() }))
 		expvar.Publish("kgserve", m)
 	})
 }

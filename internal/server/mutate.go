@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,7 +11,6 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metalog"
 	"repro/internal/overlay"
-	"repro/internal/pg"
 	"repro/internal/snapfile"
 )
 
@@ -57,6 +57,9 @@ type MutateInfo struct {
 	// Assigned maps the batch's add_node handles to their assigned OIDs, so
 	// clients can address created nodes in later batches.
 	Assigned map[string]int64 `json:"assigned,omitempty"`
+	// Seq is the batch's write-ahead-log sequence number; 0 when the server
+	// runs without a WAL.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Mutate applies a batch of mutations as the next serving generation. The
@@ -65,6 +68,10 @@ type MutateInfo struct {
 // applied batch swaps in. On any error — validation, injected faults,
 // contained panics — the serving snapshot is untouched.
 func (s *Server) Mutate(ops []overlay.Op) (MutateInfo, error) {
+	if err := s.notRecovering(); err != nil {
+		mMutateErr.Add(1)
+		return MutateInfo{}, err
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	sn := s.current()
@@ -113,6 +120,23 @@ func (s *Server) Mutate(ops []overlay.Op) (MutateInfo, error) {
 				info.Assigned[name] = int64(id)
 			}
 		}
+		if s.wal != nil {
+			// Log before the swap acknowledges: under the "always" policy
+			// Append fsyncs, so an acknowledged batch survives any crash. A
+			// failed append rejects the batch (the clone is discarded) —
+			// rejected and logged are mutually exclusive, on both sides.
+			payload, err := overlay.EncodeOps(ops)
+			if err != nil {
+				return err
+			}
+			seq, err := s.wal.Append(payload)
+			if err != nil {
+				mWALAppendErr.Add(1)
+				return fmt.Errorf("server: wal append: %w", err)
+			}
+			info.Seq = seq
+			mWALAppends.Add(1)
+		}
 		return nil
 	})
 	if err != nil {
@@ -144,6 +168,10 @@ type CompactInfo struct {
 // persisting it as a binary snapshot file. Without a pending overlay it is a
 // no-op. On failure the overlay generation keeps serving.
 func (s *Server) Compact() (CompactInfo, error) {
+	if err := s.notRecovering(); err != nil {
+		mCompactErr.Add(1)
+		return CompactInfo{}, err
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	sn := s.current()
@@ -180,6 +208,17 @@ func (s *Server) Compact() (CompactInfo, error) {
 	next.gen = sn.gen + 1
 	s.snap.Store(next)
 	mCompacts.Add(1)
+	if s.wal != nil && path != "" {
+		// The compacted generation is durable on disk: checkpoint the WAL
+		// against it so recovery replays only post-snapshot batches. Failure
+		// is tolerated — serving continues and the untruncated log replays
+		// idempotently over the OLD base to the same merged view.
+		if _, cerr := s.wal.Checkpoint(path); cerr != nil {
+			mWALCheckpointErr.Add(1)
+		} else {
+			mWALCheckpoints.Add(1)
+		}
+	}
 	return CompactInfo{Generation: next.gen, Compacted: true,
 		Nodes: next.view.NumNodes(), Edges: next.view.NumEdges(), Path: path}, nil
 }
@@ -219,89 +258,11 @@ func (s *Server) stopAutoCompact() {
 
 // ---- request decoding ----
 
-// jsonRef names a node either by OID or by the in-batch handle of an
-// add_node op.
-type jsonRef struct {
-	ID   int64  `json:"id,omitempty"`
-	Name string `json:"name,omitempty"`
-}
-
-func (j *jsonRef) toRef() overlay.Ref {
-	if j == nil {
-		return overlay.Ref{}
-	}
-	return overlay.Ref{ID: pg.OID(j.ID), Name: j.Name}
-}
-
-// jsonOp is one mutation of the POST /mutate payload. Fields are per-kind:
-//
-//	{"op":"add_node","name":"h","labels":["Company"],"props":{...}}
-//	{"op":"add_edge","from":{"id":3},"to":{"name":"h"},"label":"owns","props":{...}}
-//	{"op":"remove_node","node":{"id":3}}
-//	{"op":"remove_edge","edge":7}
-//	{"op":"set_node_prop","node":{"id":3},"key":"name","value":{"kind":"string","str":"x"}}
-//	{"op":"del_node_prop","node":{"id":3},"key":"name"}
-//	{"op":"add_label","node":{"id":3},"label":"Bank"}
-//
-// Property values use the same kind-tagged encoding as the graph JSON files.
-type jsonOp struct {
-	Op     string                  `json:"op"`
-	Name   string                  `json:"name,omitempty"`
-	Labels []string                `json:"labels,omitempty"`
-	Label  string                  `json:"label,omitempty"`
-	Props  map[string]pg.JSONValue `json:"props,omitempty"`
-	Node   *jsonRef                `json:"node,omitempty"`
-	From   *jsonRef                `json:"from,omitempty"`
-	To     *jsonRef                `json:"to,omitempty"`
-	Edge   int64                   `json:"edge,omitempty"`
-	Key    string                  `json:"key,omitempty"`
-	Value  *pg.JSONValue           `json:"value,omitempty"`
-}
-
+// mutateRequest is the POST /mutate envelope; the ops array uses the wire
+// format owned by internal/overlay (EncodeOps/DecodeOps) — the same bytes
+// the write-ahead log records and replays.
 type mutateRequest struct {
-	Ops []jsonOp `json:"ops"`
-}
-
-func (j *jsonOp) toOp() (overlay.Op, error) {
-	op := overlay.Op{
-		Kind:  overlay.OpKind(j.Op),
-		Name:  j.Name,
-		Label: j.Label,
-		Node:  j.Node.toRef(),
-		From:  j.From.toRef(),
-		To:    j.To.toRef(),
-		Edge:  pg.OID(j.Edge),
-		Key:   j.Key,
-	}
-	switch op.Kind {
-	case overlay.OpAddNode, overlay.OpAddEdge, overlay.OpRemoveNode,
-		overlay.OpRemoveEdge, overlay.OpDelNodeProp, overlay.OpAddLabel:
-	case overlay.OpSetNodeProp:
-		if j.Value == nil {
-			return overlay.Op{}, errors.New("set_node_prop needs a value")
-		}
-	default:
-		return overlay.Op{}, fmt.Errorf("unknown op kind %q", j.Op)
-	}
-	op.Labels = append([]string(nil), j.Labels...)
-	if len(j.Props) > 0 {
-		op.Props = make(pg.Props, len(j.Props))
-		for k, jv := range j.Props {
-			v, err := pg.DecodeValue(jv)
-			if err != nil {
-				return overlay.Op{}, fmt.Errorf("prop %q: %w", k, err)
-			}
-			op.Props[k] = v
-		}
-	}
-	if j.Value != nil {
-		v, err := pg.DecodeValue(*j.Value)
-		if err != nil {
-			return overlay.Op{}, fmt.Errorf("value: %w", err)
-		}
-		op.Value = v
-	}
-	return op, nil
+	Ops json.RawMessage `json:"ops"`
 }
 
 // decodeMutateRequest parses and validates a /mutate body. It is the surface
@@ -316,16 +277,15 @@ func decodeMutateRequest(body []byte) ([]overlay.Op, *apiError) {
 	if len(req.Ops) == 0 {
 		return nil, errBadRequest("empty mutation batch")
 	}
-	if len(req.Ops) > maxMutateOps {
-		return nil, errBadRequest("batch exceeds %d ops", maxMutateOps)
+	ops, err := overlay.DecodeOps(req.Ops)
+	if err != nil {
+		return nil, errBadRequest("decoding mutate request: %v", err)
 	}
-	ops := make([]overlay.Op, len(req.Ops))
-	for i := range req.Ops {
-		op, err := req.Ops[i].toOp()
-		if err != nil {
-			return nil, errBadRequest("op %d: %v", i, err)
-		}
-		ops[i] = op
+	if len(ops) == 0 {
+		return nil, errBadRequest("empty mutation batch")
+	}
+	if len(ops) > maxMutateOps {
+		return nil, errBadRequest("batch exceeds %d ops", maxMutateOps)
 	}
 	return ops, nil
 }

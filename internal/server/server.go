@@ -53,6 +53,7 @@ import (
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // Fault-injection sites of the serving layer (see internal/fault): the
@@ -112,6 +113,20 @@ type Config struct {
 	// CompactDir, when set, persists every compacted generation as a binary
 	// snapshot file (snapfile format) in this directory.
 	CompactDir string
+
+	// WALDir, when set, makes the write path durable: every applied /mutate
+	// batch is appended to a write-ahead log in this directory before it is
+	// acknowledged, and startup replays the log over the base snapshot (see
+	// wal.go). Empty disables the WAL — mutations live only in memory.
+	WALDir string
+	// WALSync selects the log's fsync policy: "always" (default; fsync
+	// before every acknowledgment), "interval[:duration]" (background
+	// fsyncs) or "off".
+	WALSync string
+	// WALAsyncRecovery makes New return before the WAL replay finishes; the
+	// server answers every endpoint with a typed 503 "recovering" until the
+	// replayed state is installed. Off, New blocks until recovery completes.
+	WALAsyncRecovery bool
 
 	// Retry is the load-retry policy applied to dictionary reads.
 	Retry fault.RetryPolicy
@@ -173,6 +188,7 @@ type snapshot struct {
 	file *snapfile.Snapshot
 
 	statsOnce sync.Once
+	stats     graphstats.Stats
 	statsJSON []byte
 }
 
@@ -196,37 +212,101 @@ type Server struct {
 	compactStop chan struct{}
 	compactOnce sync.Once
 	compactWG   sync.WaitGroup
+
+	// Durability (see wal.go): the open log, the recovery carried from Open
+	// to replayWAL, and the readiness gate for async recovery.
+	wal         *wal.Log
+	walRec      *wal.Recovery
+	recovering  atomic.Bool
+	recoverFail atomic.Pointer[string]
+	recoverWG   sync.WaitGroup
 }
 
-// New builds a server from cfg, loading and freezing cfg.Source.
+// New builds a server from cfg, loading and freezing cfg.Source. With a WAL
+// configured, the base is the last checkpoint's snapshot (falling back to
+// cfg.Source) and the log's acknowledged batches are replayed on top.
 func New(cfg Config) (*Server, error) {
 	if cfg.Source == "" {
 		return nil, fmt.Errorf("server: Config.Source required (or use NewFromGraph)")
 	}
 	s := newServer(cfg)
-	first, err := s.buildFromPath(cfg.Source)
+	if s.cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	first, err := s.buildFromPath(s.walBase())
 	if err != nil {
+		s.closeWALOnFailure()
 		return nil, err
 	}
 	first.gen = 1
 	s.snap.Store(first)
+	if err := s.startRecovery(); err != nil {
+		return nil, err
+	}
 	s.startAutoCompact()
 	return s, nil
 }
 
 // NewFromGraph builds a server from an in-memory graph — the entry point
 // for tests and benchmarks. The graph is frozen immediately and not
-// retained; later mutations of g are invisible to the server.
+// retained; later mutations of g are invisible to the server. A configured
+// WAL replays over the graph, unless a checkpoint names an on-disk base.
 func NewFromGraph(cfg Config, g *pg.Graph) (*Server, error) {
 	s := newServer(cfg)
-	first, err := s.buildSnapshot(g)
+	if s.cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	var first *snapshot
+	var err error
+	if s.walRec != nil && s.walRec.Checkpoint != nil && s.walRec.Checkpoint.Base != "" {
+		first, err = s.buildFromPath(s.walRec.Checkpoint.Base)
+	} else {
+		first, err = s.buildSnapshot(g)
+	}
 	if err != nil {
+		s.closeWALOnFailure()
 		return nil, err
 	}
 	first.gen = 1
 	s.snap.Store(first)
+	if err := s.startRecovery(); err != nil {
+		return nil, err
+	}
 	s.startAutoCompact()
 	return s, nil
+}
+
+// startRecovery runs the WAL replay — inline, or in the background with
+// WALAsyncRecovery, in which case the recovering gate answers 503 until the
+// replay lands.
+func (s *Server) startRecovery() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.cfg.WALAsyncRecovery {
+		s.recovering.Store(true)
+		s.recoverWG.Add(1)
+		go s.finishRecovery()
+		return nil
+	}
+	if err := s.replayWAL(); err != nil {
+		s.closeWALOnFailure()
+		return err
+	}
+	return nil
+}
+
+// closeWALOnFailure tears the log down on a failed construction, so its
+// background syncer never outlives the half-built server.
+func (s *Server) closeWALOnFailure() {
+	if s.wal != nil {
+		s.wal.Close() //nolint:errcheck // already failing
+		s.wal = nil
+	}
 }
 
 func newServer(cfg Config) *Server {
@@ -300,6 +380,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopAutoCompact()
 	err := s.http.Shutdown(ctx)
 	s.pool.drain()
+	s.recoverWG.Wait()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -378,6 +464,10 @@ func (s *Server) Reload(path string) (ReloadInfo, error) {
 	if path == "" {
 		return ReloadInfo{}, fmt.Errorf("server: no reload path and no configured source")
 	}
+	if err := s.notRecovering(); err != nil {
+		mReloadErr.Add(1)
+		return ReloadInfo{}, err
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	var next *snapshot
@@ -386,7 +476,21 @@ func (s *Server) Reload(path string) (ReloadInfo, error) {
 		if next, err = s.buildFromPath(path); err != nil {
 			return err
 		}
-		return fault.Hit(siteSwap)
+		if err := fault.Hit(siteSwap); err != nil {
+			return err
+		}
+		if s.wal != nil {
+			// A reload abandons the logged batches by design: the new source
+			// is the state. Checkpoint BEFORE the swap — if the checkpoint
+			// cannot land, the reload must fail, or a crash after the swap
+			// would replay pre-reload batches over the post-reload source.
+			if _, err := s.wal.Checkpoint(path); err != nil {
+				mWALCheckpointErr.Add(1)
+				return fmt.Errorf("server: checkpointing wal for reload: %w", err)
+			}
+			mWALCheckpoints.Add(1)
+		}
+		return nil
 	})
 	if err != nil {
 		mReloadErr.Add(1)
@@ -422,6 +526,12 @@ func (s *Server) endpoint(name, method string, pooled bool, h func(r *http.Reque
 			if r.Method != method {
 				w.Header().Set("Allow", method)
 				aerr = errMethod(method)
+				return nil
+			}
+			if s.recovering.Load() {
+				// Readiness gate: until the WAL replay lands, every endpoint
+				// (healthz included) answers a typed 503.
+				aerr = s.errRecovering()
 				return nil
 			}
 			if err := fault.Hit(siteHandler); err != nil {
@@ -588,16 +698,16 @@ func cellJSON(v value.Value) any {
 func (s *Server) handleStats(*http.Request) (*apiResult, *apiError) {
 	sn := s.current()
 	sn.statsOnce.Do(func() {
-		st := graphstats.Compute(sn.view)
+		sn.stats = graphstats.Compute(sn.view)
 		// Snapshot-file generations carry their provenance header; plain
 		// JSON generations marshal the bare stats, so existing outputs stay
 		// bit-identical.
-		var payload any = st
+		var payload any = sn.stats
 		if sn.build != nil {
 			payload = struct {
 				Build *snapfile.BuildInfo `json:"build"`
 				graphstats.Stats
-			}{sn.build, st}
+			}{sn.build, sn.stats}
 		}
 		b, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
@@ -605,7 +715,21 @@ func (s *Server) handleStats(*http.Request) (*apiResult, *apiError) {
 		}
 		sn.statsJSON = append(b, '\n')
 	})
-	return &apiResult{body: sn.statsJSON, gen: sn.gen}, nil
+	if s.wal == nil {
+		return &apiResult{body: sn.statsJSON, gen: sn.gen}, nil
+	}
+	// With a WAL the response gains a live "wal" section (durability lag and
+	// compaction debt), re-marshaled per request around the cached graph
+	// stats; WAL-less responses above stay bit-identical to previous builds.
+	out, aerr := marshalBody(struct {
+		Build *snapfile.BuildInfo `json:"build,omitempty"`
+		graphstats.Stats
+		WAL wal.Stats `json:"wal"`
+	}{sn.build, sn.stats, s.wal.Stats()})
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &apiResult{body: out, gen: sn.gen}, nil
 }
 
 func (s *Server) handleValidate(r *http.Request) (*apiResult, *apiError) {

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pg"
+	"repro/internal/value"
+)
+
+// The E23 durability benchmarks (EXPERIMENTS.md): /mutate latency with the
+// write-ahead log disabled and under each fsync policy. make bench-wal
+// captures them — mean plus p50/p99 custom metrics — into BENCH_wal.json,
+// and runs the overhead gate below.
+
+// benchServer builds a mutate-ready server; walSync == "" disables the WAL.
+func benchServer(b testing.TB, walSync string) *Server {
+	b.Helper()
+	cfg := Config{CacheSize: 0}
+	if walSync != "" {
+		cfg.WALDir = filepath.Join(b.TempDir(), "wal")
+		cfg.WALSync = walSync
+	}
+	s, err := NewFromGraph(cfg, benchBase(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchBase is mutateBase for testing.TB callers (benchmarks included).
+func benchBase(b testing.TB) *pg.Graph {
+	b.Helper()
+	g := pg.New()
+	a := g.AddNode([]string{"Business"}, pg.Props{"fiscalCode": value.Str("c1")})
+	c := g.AddNode([]string{"Business"}, pg.Props{"fiscalCode": value.Str("c2")})
+	if _, err := g.AddEdge(a.ID, c.ID, "OWNS", pg.Props{"percentage": value.FloatV(0.6)}); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchMutate drives one /mutate batch through the handler and returns its
+// latency; the fiscal code keeps every batch valid and unique.
+func benchMutate(b testing.TB, s *Server, i int) time.Duration {
+	b.Helper()
+	body := fmt.Sprintf(`{"ops":[{"op":"add_node","labels":["Business"],"props":{"fiscalCode":{"kind":"string","str":"b%d"}}}]}`, i)
+	req := httptest.NewRequest(http.MethodPost, "/mutate", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	start := time.Now()
+	s.Handler().ServeHTTP(w, req)
+	lat := time.Since(start)
+	if w.Code != http.StatusOK {
+		b.Fatalf("mutate %d: %d %s", i, w.Code, w.Body.String())
+	}
+	return lat
+}
+
+func reportPercentiles(b *testing.B, lats []time.Duration) {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		b.ReportMetric(float64(lats[n/2]), "p50-ns/op")
+		b.ReportMetric(float64(lats[n*99/100]), "p99-ns/op")
+	}
+}
+
+func BenchmarkWALMutate(b *testing.B) {
+	for _, tc := range []struct{ name, sync string }{
+		{"nowal", ""},
+		{"always", "always"},
+		{"interval", "interval"},
+		{"off", "off"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := benchServer(b, tc.sync)
+			lats := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lats = append(lats, benchMutate(b, s, i))
+			}
+			b.StopTimer()
+			reportPercentiles(b, lats)
+		})
+	}
+}
+
+// TestWALIntervalOverheadGate is the E23 acceptance gate: the "interval"
+// fsync policy must cost less than 10% over running with no WAL at all.
+// It compares the median of per-round median latencies and retries, since a
+// single noisy round on shared hardware proves nothing. Run by make
+// bench-wal (RUN_WAL_GATE=1); skipped otherwise.
+func TestWALIntervalOverheadGate(t *testing.T) {
+	if os.Getenv("RUN_WAL_GATE") == "" {
+		t.Skip("overhead gate runs under make bench-wal (set RUN_WAL_GATE=1)")
+	}
+	const (
+		rounds   = 5
+		batches  = 200
+		attempts = 4
+	)
+	medianLat := func(sync string) time.Duration {
+		meds := make([]time.Duration, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			s := benchServer(t, sync)
+			lats := make([]time.Duration, 0, batches)
+			for i := 0; i < batches; i++ {
+				lats = append(lats, benchMutate(t, s, i))
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			meds = append(meds, lats[len(lats)/2])
+		}
+		sort.Slice(meds, func(i, j int) bool { return meds[i] < meds[j] })
+		return meds[len(meds)/2]
+	}
+
+	var base, withWAL time.Duration
+	for attempt := 1; attempt <= attempts; attempt++ {
+		base, withWAL = medianLat(""), medianLat("interval")
+		ratio := float64(withWAL) / float64(base)
+		t.Logf("attempt %d: no-WAL %v, interval %v (ratio %.3f)", attempt, base, withWAL, ratio)
+		if ratio < 1.10 {
+			return
+		}
+	}
+	t.Fatalf("interval-mode WAL overhead exceeds 10%%: no-WAL %v, interval %v", base, withWAL)
+}

@@ -1,0 +1,458 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Log is an open write-ahead log positioned for appending. Create one with
+// Open; it is safe for concurrent use (one mutex — the serving layer already
+// serializes writers, the lock exists for the background syncer).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // active segment
+	size   int64    // active segment size (valid bytes)
+	sealed int64    // total bytes across sealed segments
+	segs   int      // segment count including the active one
+
+	gen     uint64
+	nextSeq uint64
+
+	// needRotate forces the next Append to rotate first — set when a
+	// checkpoint landed but its rotation failed, so no record may land in a
+	// segment the checkpoint condemned.
+	needRotate bool
+	broken     bool // an append left the tail unrecoverable; log refuses writes
+	closed     bool
+
+	appended  int64
+	syncs     int64
+	unsyncedB int
+	unsyncedN int64
+	lastSync  time.Time
+	lastDur   time.Duration
+	syncErr   error
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open scans (and repairs) a WAL directory and returns the log positioned
+// for appending plus everything recovery needs: the checkpoint and the
+// acknowledged records after it, in sequence order. Torn tails in the
+// highest segment are truncated away; stale pre-checkpoint segments are
+// deleted; damage anywhere else returns a typed error and no Log.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	if err := fault.Hit(siteReplay); err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	cp, err := readCheckpoint(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	live, stale, err := replayable(segs, cp, true)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovery{Checkpoint: cp, StaleSegments: stale}
+	l := &Log{dir: dir, opts: opts, gen: 1, nextSeq: 1}
+	if cp != nil {
+		l.gen = cp.Generation
+		l.nextSeq = cp.Seq + 1
+	}
+
+	// Drop torn segment creations (no header) and headerless damage in last
+	// position; collect records; truncate a torn tail in place.
+	var tail *segScan
+	for i := range live {
+		s := &live[i]
+		if s.err != nil || s.headless {
+			// Only reachable in last position (validateChain). A file that
+			// never got its header holds no acknowledged data: remove it.
+			rec.TornSegment = s.name
+			rec.TornBytes += s.size
+			if err := os.Remove(s.path); err != nil {
+				return nil, nil, fmt.Errorf("wal: removing torn segment %s: %w", s.name, err)
+			}
+			continue
+		}
+		for _, r := range s.records {
+			if cp != nil && r.Seq <= cp.Seq {
+				continue // pre-checkpoint record in a kept segment
+			}
+			rec.Records = append(rec.Records, r)
+		}
+		if s.torn {
+			rec.TornSegment = s.name
+			rec.TornBytes += s.size - s.validLen
+			if err := os.Truncate(s.path, s.validLen); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", s.name, err)
+			}
+			s.size = s.validLen
+		}
+		if s.gen > l.gen {
+			l.gen = s.gen
+		}
+		if last := s.firstSeq + uint64(len(s.records)); last > l.nextSeq {
+			l.nextSeq = last
+		}
+		tail = s
+	}
+
+	// Position for appending: continue the intact highest segment, or start
+	// a fresh one.
+	if tail != nil {
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: opening %s for append: %w", tail.name, err)
+		}
+		l.f = f
+		l.size = tail.size
+		for i := range live {
+			s := &live[i]
+			if s.err == nil && !s.headless && s != tail {
+				l.sealed += s.size
+				l.segs++
+			}
+		}
+		l.segs++
+	} else {
+		if err := l.newSegmentLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if opts.Sync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+// newSegmentLocked creates and activates the segment (l.gen, l.nextSeq).
+func (l *Log) newSegmentLocked() error {
+	path := filepath.Join(l.dir, segName(l.gen, l.nextSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	hdr := encodeHeader(l.gen, l.nextSeq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()       //nolint:errcheck // already failing
+		os.Remove(path) //nolint:errcheck // best-effort
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()       //nolint:errcheck // already failing
+			os.Remove(path) //nolint:errcheck // best-effort
+			return fmt.Errorf("wal: syncing segment header: %w", err)
+		}
+	}
+	syncDir(l.dir)
+	l.f = f
+	l.size = int64(len(hdr))
+	l.segs++
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one. On failure
+// the previous segment stays active (unless a new one was never opened, in
+// which case needRotate stays set and Append keeps refusing).
+func (l *Log) rotateLocked() error {
+	if err := fault.Hit(siteRotate); err != nil {
+		return err
+	}
+	old, oldSize := l.f, l.size
+	if err := old.Sync(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	if err := l.newSegmentLocked(); err != nil {
+		return err
+	}
+	old.Close() //nolint:errcheck // sealed and synced
+	l.sealed += oldSize
+	l.unsyncedB, l.unsyncedN = 0, 0 // sealed segment was fsynced above
+	return nil
+}
+
+// Append logs one batch payload, assigns it the next sequence number, and —
+// under SyncAlways — fsyncs before returning. An error means the batch is
+// NOT in the log (a partially written record is truncated back off), so the
+// caller can safely reject the batch: rejected and logged are mutually
+// exclusive.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.broken {
+		return 0, ErrClosed
+	}
+	if err := fault.Hit(siteAppend); err != nil {
+		return 0, err
+	}
+	if l.needRotate {
+		if err := l.rotateLocked(); err != nil {
+			return 0, fmt.Errorf("wal: rotation pending after checkpoint: %w", err)
+		}
+		l.needRotate = false
+	} else if l.size >= l.opts.SegmentBytes {
+		// Best-effort size rotation: on failure keep appending to the
+		// (merely oversized) active segment.
+		l.rotateLocked() //nolint:errcheck // retried on the next append
+	}
+	buf := encodeRecord(l.nextSeq, payload)
+	if err := l.writeRecordLocked(buf); err != nil {
+		return 0, err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			// The record is written but not durable; cut it back off so a
+			// rejected batch can never resurface during replay.
+			l.unwindLocked(l.size - int64(len(buf)))
+			return 0, err
+		}
+	} else {
+		l.unsyncedB++
+		l.unsyncedN += int64(len(buf))
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	l.appended++
+	return seq, nil
+}
+
+// writeRecordLocked appends buf to the active segment, unwinding a partial
+// write so the tail stays record-aligned.
+func (l *Log) writeRecordLocked(buf []byte) error {
+	n, err := l.f.Write(buf)
+	if err != nil {
+		if n > 0 {
+			l.unwindLocked(l.size)
+		}
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	l.size += int64(n)
+	return nil
+}
+
+// unwindLocked truncates the active segment back to offset `to`. If even
+// that fails the tail is in an unknown state and the log refuses further
+// appends (recovery would still stop at the torn record — the broken flag
+// only protects this process from appending after garbage).
+func (l *Log) unwindLocked(to int64) {
+	if err := l.f.Truncate(to); err != nil {
+		l.broken = true
+		return
+	}
+	if _, err := l.f.Seek(to, 0); err != nil {
+		l.broken = true
+		return
+	}
+	l.size = to
+}
+
+// Sync fsyncs the active segment. It is a no-op when nothing is unsynced.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.unsyncedB == 0 {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := fault.Hit(siteFsync); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs++
+	l.lastSync = time.Now()
+	l.lastDur = l.lastSync.Sub(start)
+	l.unsyncedB, l.unsyncedN = 0, 0
+	l.syncErr = nil
+	return nil
+}
+
+// syncLoop is the SyncInterval background syncer. Failures are recorded
+// (surfaced through Stats.SyncError) and retried on the next tick.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.unsyncedB > 0 {
+				if err := l.syncLocked(); err != nil {
+					l.syncErr = err
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Checkpoint marks every logged batch as folded into the durable base at
+// basePath and truncates the log: generation++, atomic CHECKPOINT publish,
+// rotation to a fresh segment of the new generation, deletion of the sealed
+// older-generation segments. On error the log stays consistent — either the
+// old checkpoint still rules (nothing changed), or the new one landed and
+// the remaining steps are completed by the next Append/Open.
+func (l *Log) Checkpoint(basePath string) (Checkpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Checkpoint{}, ErrClosed
+	}
+	// The checkpoint claims every batch up to nextSeq-1 is in the base;
+	// that includes unsynced ones, so make them durable first.
+	if l.unsyncedB > 0 {
+		if err := l.syncLocked(); err != nil {
+			return Checkpoint{}, err
+		}
+	}
+	cp := Checkpoint{Generation: l.gen + 1, Seq: l.nextSeq - 1, Base: basePath}
+	if err := writeCheckpoint(l.dir, cp); err != nil {
+		return Checkpoint{}, err
+	}
+	l.gen = cp.Generation
+	if err := l.rotateLocked(); err != nil {
+		// The checkpoint is durable but no new-generation segment exists
+		// yet. Appending to the condemned segment would lose data (the next
+		// Open deletes pre-checkpoint segments), so force rotation before
+		// any further append.
+		l.needRotate = true
+		return cp, fmt.Errorf("wal: rotating after checkpoint: %w", err)
+	}
+	l.removeStaleLocked(cp.Generation)
+	return cp, nil
+}
+
+// removeStaleLocked deletes sealed segments of generations before minGen,
+// best-effort: survivors are removed by the next Open.
+func (l *Log) removeStaleLocked(minGen uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if gen, _, ok := parseSegName(e.Name()); ok && gen < minGen {
+			os.Remove(filepath.Join(l.dir, e.Name())) //nolint:errcheck // next Open retries
+		}
+	}
+	// Recount segments and sealed bytes from what survived.
+	entries, err = os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	l.segs, l.sealed = 0, 0
+	active := filepath.Base(l.f.Name())
+	for _, e := range entries {
+		if _, _, ok := parseSegName(e.Name()); !ok {
+			continue
+		}
+		l.segs++
+		if e.Name() == active {
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			l.sealed += fi.Size()
+		}
+	}
+}
+
+// NextSeq returns the sequence number the next Append will assign.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Generation returns the current truncation generation.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Stats returns a point-in-time view of the log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Generation:      l.gen,
+		NextSeq:         l.nextSeq,
+		Segments:        l.segs,
+		Bytes:           l.sealed + l.size,
+		Appended:        l.appended,
+		Syncs:           l.syncs,
+		UnsyncedBatches: l.unsyncedB,
+		UnsyncedBytes:   l.unsyncedN,
+	}
+	if !l.lastSync.IsZero() {
+		st.LastSyncUnixNano = l.lastSync.UnixNano()
+		st.LastSyncNanos = int64(l.lastDur)
+	}
+	if l.syncErr != nil {
+		st.SyncError = l.syncErr.Error()
+	}
+	return st
+}
+
+// Close stops the background syncer, makes the tail durable (best-effort
+// final fsync unless the policy is off) and closes the active segment. The
+// log accepts no appends afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.stop != nil {
+		close(l.stop)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	var err error
+	if l.opts.Sync != SyncOff && l.unsyncedB > 0 {
+		if serr := l.f.Sync(); serr != nil && err == nil {
+			err = fmt.Errorf("wal: final fsync: %w", serr)
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("wal: closing segment: %w", cerr)
+	}
+	return err
+}

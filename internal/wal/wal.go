@@ -1,0 +1,398 @@
+// Package wal is the durability layer of the live write path: a segmented,
+// checksummed, append-only write-ahead log of mutation batches. The serving
+// layer logs every /mutate batch here *before* acknowledging it, so any crash
+// short of disk loss — a killed process, a panic, a power cut with the
+// "always" fsync policy — loses nothing that a client was told succeeded.
+// Recovery replays the log over the frozen base snapshot and reconstructs the
+// overlay the process died with.
+//
+// # On-disk layout
+//
+// A WAL directory holds numbered segment files plus an optional CHECKPOINT
+// file. Segment names encode their generation and the sequence number of
+// their first record:
+//
+//	wal-<generation:016x>-<firstSeq:016x>.seg
+//	CHECKPOINT
+//
+// Every segment starts with a 40-byte header (integers little-endian):
+//
+//	 0  magic      [8]byte  "KGWLOG\r\n"
+//	 8  version    u32      1
+//	12  reserved   u32      0
+//	16  generation u64      truncation epoch the segment belongs to
+//	24  firstSeq   u64      sequence number of the segment's first record
+//	32  headerCRC  u32      CRC32C of bytes [0, 32)
+//	36  reserved   u32      0
+//
+// followed by length-prefixed records, back to back:
+//
+//	 0  length  u32   payload bytes
+//	 4  crc     u32   CRC32C of bytes [8, 16+length) — seq plus payload
+//	 8  seq     u64   monotonic batch sequence number (+1 per record)
+//	16  payload       the batch, JSON-encoded in the /mutate wire format
+//	                  (overlay.EncodeOps — the same bytes a client could POST)
+//
+// Sequence numbers start at 1 and increase by exactly one per record across
+// segment boundaries; a gap means acknowledged data is missing and recovery
+// refuses with ErrCorrupt. The payload is opaque to this package — the WAL
+// stores batches, the overlay interprets them.
+//
+// # Recovery
+//
+// Open scans the directory, validates every segment and returns the
+// acknowledged records in sequence order. A crash mid-append leaves a torn
+// tail in the highest segment: the first record whose length, checksum or
+// sequence number does not hold marks the valid prefix, the file is truncated
+// there, and appending resumes cleanly. Torn tails are expected and silent
+// (reported in Recovery, not an error); an invalid record in any *earlier*
+// segment — one whose tail was sealed by a rotation — is real corruption and
+// surfaces as a typed error in the snapfile style (ErrBadMagic, ErrBadVersion,
+// ErrCorrupt), never a panic.
+//
+// # Truncation and generations
+//
+// The log grows until its batches are folded into a durable base snapshot.
+// Checkpoint stamps the fold: it bumps the generation, atomically writes the
+// CHECKPOINT file (the new generation, the last sequence number covered, and
+// the path of the base the post-checkpoint log replays over), rotates to a
+// fresh segment of the new generation, and deletes the sealed segments of
+// older generations. The invariant linking the two: every record in a
+// generation-g segment has seq > the checkpoint seq of every checkpoint with
+// generation <= g, so deleting pre-checkpoint segments never drops a batch
+// the checkpoint base does not already contain. A crash anywhere inside
+// Checkpoint is safe — the CHECKPOINT write is atomic (temp + fsync +
+// rename), stale segments that escaped deletion are removed on the next
+// Open, and a CHECKPOINT that never landed leaves the old base plus the full
+// log, which replays to the same merged view.
+//
+// # Fsync policies
+//
+// SyncAlways fsyncs inside every Append before the batch is acknowledged —
+// the full durability of the paper's deployment setting. SyncInterval
+// acknowledges after write(2) and fsyncs from a background ticker: a killed
+// process loses nothing (the page cache survives), a power cut can lose the
+// last interval. SyncOff never fsyncs explicitly. The fault sites wal/append,
+// wal/fsync, wal/rotate and wal/replay plug the whole lifecycle into the
+// chaos harness (internal/fault).
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Magic is the 8-byte segment signature; the \r\n tail catches text-mode
+// mangling the way the snapshot magic does.
+const Magic = "KGWLOG\r\n"
+
+// Version is the segment format version written by this package.
+const Version = 1
+
+const (
+	headerLen = 40 // segment header size
+	recHdrLen = 16 // record header size
+	// maxRecordLen bounds a single record payload; a length field above it
+	// is treated as corruption, not an allocation request.
+	maxRecordLen = 16 << 20
+
+	segSuffix      = ".seg"
+	segPrefix      = "wal-"
+	checkpointName = "CHECKPOINT"
+)
+
+// Fault-injection sites of the durability layer (see internal/fault): the
+// record append, the fsync, the segment rotation (which Checkpoint's
+// truncation path crosses), and the startup replay.
+var (
+	siteAppend = fault.Site("wal/append")
+	siteFsync  = fault.Site("wal/fsync")
+	siteRotate = fault.Site("wal/rotate")
+	siteReplay = fault.Site("wal/replay")
+)
+
+// Typed errors in the snapfile style: every malformed log maps to exactly
+// one of these through errors.Is, and no input shape panics.
+var (
+	// ErrBadMagic: a segment file does not start with the KGWLOG signature.
+	ErrBadMagic = errors.New("wal: bad segment magic")
+	// ErrBadVersion: the signature matched but the format version is not one
+	// this reader understands.
+	ErrBadVersion = errors.New("wal: unsupported segment version")
+	// ErrCorrupt: a sealed segment holds an invalid record, the sequence
+	// numbering has a gap, or the checkpoint file is malformed — acknowledged
+	// data is missing or unreadable.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrClosed: the log was closed (or broke irrecoverably mid-append) and
+	// accepts no further appends.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs inside every Append, before acknowledgment.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges after write(2) and fsyncs on a background
+	// ticker (Options.SyncEvery).
+	SyncInterval
+	// SyncOff never fsyncs explicitly (the OS flushes on its own schedule).
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy parses the -wal-sync flag forms "always", "off",
+// "interval" and "interval:<duration>". The returned duration is zero unless
+// the spec carries one.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return SyncAlways, 0, nil
+	case "off":
+		return SyncOff, 0, nil
+	case "interval":
+		return SyncInterval, 0, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "interval:"); ok {
+		d, err := time.ParseDuration(rest)
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("wal: bad sync interval %q", rest)
+		}
+		return SyncInterval, d, nil
+	}
+	return 0, 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval[:dur] or off)", s)
+}
+
+// Options parameterizes a Log. The zero value is valid: SyncAlways, 25ms
+// interval (unused), 16 MiB segments.
+type Options struct {
+	// Sync is the fsync policy (see SyncPolicy).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval ticker period; 0 selects 25ms.
+	SyncEvery time.Duration
+	// SegmentBytes is the size past which Append rotates to a fresh
+	// segment; 0 selects 16 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 25 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+// Checkpoint records a truncation point: everything at or below Seq is
+// folded into the base at Base, and only generation >= Generation segments
+// remain relevant.
+type Checkpoint struct {
+	// Generation is the truncation epoch; it only ever increases.
+	Generation uint64 `json:"generation"`
+	// Seq is the last sequence number covered by the base — recovery
+	// replays only records with larger sequence numbers.
+	Seq uint64 `json:"seq"`
+	// Base is the path recovery rebuilds the pre-log state from: a binary
+	// snapshot or a JSON dictionary (anything the serving layer can load).
+	// Empty means "the originally configured source".
+	Base string `json:"base,omitempty"`
+}
+
+// Record is one acknowledged batch recovered from the log.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Stats is a point-in-time view of the log, surfaced by the serving layer's
+// /stats endpoint: compaction debt (segments, bytes, batches) and the
+// durability lag (unsynced batches/bytes, last-fsync timing).
+type Stats struct {
+	Generation      uint64 `json:"generation"`
+	NextSeq         uint64 `json:"nextSeq"`
+	Segments        int    `json:"segments"`
+	Bytes           int64  `json:"bytes"`
+	Appended        int64  `json:"appended"`
+	Syncs           int64  `json:"syncs"`
+	UnsyncedBatches int    `json:"unsyncedBatches"`
+	UnsyncedBytes   int64  `json:"unsyncedBytes"`
+	// LastSyncUnixNano is the wall-clock time the last fsync completed, 0
+	// before the first one.
+	LastSyncUnixNano int64 `json:"lastSyncUnixNano,omitempty"`
+	// LastSyncNanos is the duration of the last fsync.
+	LastSyncNanos int64 `json:"lastSyncNanos,omitempty"`
+	// SyncError carries the last background-sync failure (SyncInterval
+	// mode), empty when healthy.
+	SyncError string `json:"syncError,omitempty"`
+}
+
+// segName builds the canonical segment file name.
+func segName(gen, firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x-%016x%s", segPrefix, gen, firstSeq, segSuffix)
+}
+
+// parseSegName extracts (generation, firstSeq) from a segment file name.
+func parseSegName(name string) (gen, firstSeq uint64, ok bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	parts := strings.Split(mid, "-")
+	if len(parts) != 2 || len(parts[0]) != 16 || len(parts[1]) != 16 {
+		return 0, 0, false
+	}
+	g, err1 := strconv.ParseUint(parts[0], 16, 64)
+	s, err2 := strconv.ParseUint(parts[1], 16, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return g, s, true
+}
+
+// encodeHeader renders a segment header.
+func encodeHeader(gen, firstSeq uint64) []byte {
+	h := make([]byte, headerLen)
+	copy(h, Magic)
+	binary.LittleEndian.PutUint32(h[8:], Version)
+	binary.LittleEndian.PutUint64(h[16:], gen)
+	binary.LittleEndian.PutUint64(h[24:], firstSeq)
+	binary.LittleEndian.PutUint32(h[32:], crc32.Checksum(h[:32], crcTable))
+	return h
+}
+
+// decodeHeader validates a segment header, returning its generation and
+// first sequence number.
+func decodeHeader(h []byte) (gen, firstSeq uint64, err error) {
+	if len(h) < headerLen {
+		return 0, 0, fmt.Errorf("%w: %d-byte header", ErrCorrupt, len(h))
+	}
+	if string(h[:len(Magic)]) != Magic {
+		return 0, 0, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(h[8:]); v != Version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if got, want := crc32.Checksum(h[:32], crcTable), binary.LittleEndian.Uint32(h[32:]); got != want {
+		return 0, 0, fmt.Errorf("%w: header checksum", ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint64(h[16:]), binary.LittleEndian.Uint64(h[24:]), nil
+}
+
+// encodeRecord renders one record (header + payload).
+func encodeRecord(seq uint64, payload []byte) []byte {
+	buf := make([]byte, recHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	copy(buf[recHdrLen:], payload)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[8:], crcTable))
+	return buf
+}
+
+// decodeRecord parses the record starting at b, reporting how many bytes it
+// spans. ok is false when the bytes do not form a whole valid record — the
+// torn-tail signal during scans.
+func decodeRecord(b []byte) (seq uint64, payload []byte, span int, ok bool) {
+	if len(b) < recHdrLen {
+		return 0, nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(b[0:])
+	if n > maxRecordLen || recHdrLen+int(n) > len(b) {
+		return 0, nil, 0, false
+	}
+	span = recHdrLen + int(n)
+	if crc32.Checksum(b[8:span], crcTable) != binary.LittleEndian.Uint32(b[4:]) {
+		return 0, nil, 0, false
+	}
+	return binary.LittleEndian.Uint64(b[8:]), b[recHdrLen:span], span, true
+}
+
+// readCheckpoint loads the CHECKPOINT file; (nil, nil) when absent.
+func readCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading checkpoint: %w", err)
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
+	}
+	if cp.Generation == 0 {
+		return nil, fmt.Errorf("%w: checkpoint generation 0", ErrCorrupt)
+	}
+	return cp, nil
+}
+
+// writeCheckpoint publishes a checkpoint atomically: temp file in the same
+// directory, fsync, rename, directory fsync — the snapfile discipline, so a
+// crash leaves either the old checkpoint or the new one, never a torn file.
+func writeCheckpoint(dir string, cp Checkpoint) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("wal: encoding checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(dir, checkpointName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	published := false
+	defer func() {
+		if !published {
+			tmp.Close()        //nolint:errcheck // already failing
+			os.Remove(tmpName) //nolint:errcheck // best-effort
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, checkpointName)); err != nil {
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	published = true
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory, best-effort (not all filesystems support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort
+		d.Close()
+	}
+}
