@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr bench-wal
+.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr bench-wal bench-plan
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,8 @@ fuzz-smoke: build
 	$(GO) test -fuzz '^FuzzDecodeMutation$$' -fuzztime 10s -run '^$$' ./internal/server/
 	$(GO) test -fuzz '^FuzzOpenSnapshot$$' -fuzztime 10s -run '^$$' ./internal/snapfile/
 	$(GO) test -fuzz '^FuzzReplayWAL$$' -fuzztime 10s -run '^$$' ./internal/wal/
+	$(GO) test -fuzz '^FuzzPlanPattern$$' -fuzztime 10s -run '^$$' ./internal/metalog/
+	$(GO) test -fuzz '^FuzzExplain$$' -fuzztime 10s -run '^$$' ./internal/server/
 
 # cover enforces the per-package coverage floors on the newest subsystems —
 # the serving layer and the on-disk snapshot format both carry the strictest
@@ -78,6 +80,12 @@ cover: build
 	echo "internal/wal coverage: $$total% (floor 70%)"; \
 	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
 	{ echo "FAIL: internal/wal coverage $$total% is below the 70% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover_plan.out ./internal/plan/
+	@total=$$($(GO) tool cover -func=cover_plan.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover_plan.out; \
+	echo "internal/plan coverage: $$total% (floor 70%)"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
+	{ echo "FAIL: internal/plan coverage $$total% is below the 70% floor"; exit 1; }
 
 # check is the tier-1 gate: vet + full suite, the race-detector pass, the
 # chaos sweep, the fuzz smoke test, and the coverage floor.
@@ -143,3 +151,16 @@ bench-wal: build
 	RUN_WAL_GATE=1 $(GO) test -run '^TestWALIntervalOverheadGate$$' -count=1 ./internal/server/
 	$(GO) run ./cmd/benchjson < BENCH_wal.txt > BENCH_wal.json
 	rm -f BENCH_wal.txt
+
+# bench-plan captures the E24 query-planning benchmarks (EXPERIMENTS.md) —
+# one company's ownership-closure point query over the E1 shareholding graph,
+# evaluated through the written-order program versus the cost-based plan
+# (join reordering + demand transformation) — into BENCH_plan.json via
+# cmd/benchjson, and runs the E24 acceptance gate: the planned point query
+# must evaluate at least 5x faster than the unplanned one. The committed
+# file is the baseline, regenerate on comparable hardware before comparing.
+bench-plan: build
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanPointQuery' -benchtime 30x -benchmem ./internal/metalog/ | tee BENCH_plan.txt
+	RUN_PLAN_GATE=1 $(GO) test -run '^TestPlanPointQueryGate$$' -count=1 ./internal/metalog/
+	$(GO) run ./cmd/benchjson < BENCH_plan.txt > BENCH_plan.json
+	rm -f BENCH_plan.txt

@@ -6,9 +6,16 @@
 //
 //	kgquery -in kg.json '(x: Business; businessName: n) [: CONTROLS] (y: Business; businessName: m), x != y'
 //	kgquery -in kg.json -limit 10 '(x: Business) ([: OWNS])+ (y: Business)'
+//	kgquery -in kg.json -explain '(x: Business; businessName: "Acme") [: OWNS] (y: Business)'
+//
+// With -explain the cost-based plan (statistics catalog, join order, demand
+// rewrites — DESIGN.md §15) is printed to stderr as JSON before the rows, and
+// the query executes the planned program.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 func main() {
 	in := flag.String("in", "", "property graph JSON")
 	limit := flag.Int("limit", 0, "maximum rows to print (0 = all)")
+	explain := flag.Bool("explain", false, "print the cost-based plan to stderr and run the planned program")
 	flag.Parse()
 	if *in == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "kgquery: usage: kgquery -in <graph.json> '<pattern>'")
@@ -39,7 +47,12 @@ func main() {
 	}
 
 	// Queries only read the graph: extract facts from a frozen snapshot.
-	rows, err := metalog.Query(g.Freeze(), flag.Arg(0), vadalog.Options{})
+	var rows []metalog.QueryRow
+	if *explain {
+		rows, err = explainedQuery(g.Freeze(), flag.Arg(0))
+	} else {
+		rows, err = metalog.Query(g.Freeze(), flag.Arg(0), vadalog.Options{})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -74,6 +87,34 @@ func main() {
 		fmt.Println(strings.Join(cells, "\t"))
 	}
 	fmt.Fprintf(os.Stderr, "kgquery: %d rows\n", len(rows))
+}
+
+// explainedQuery plans the pattern against the graph's statistics catalog,
+// prints the plan, and runs the prepared (planned) query.
+func explainedQuery(frozen *pg.Frozen, pattern string) ([]metalog.QueryRow, error) {
+	cat := metalog.FromGraph(frozen)
+	st := metalog.ComputePlanStats(frozen, cat)
+	prep, err := metalog.PrepareQuery(cat, pattern, st)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(prep.Plan(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "kgquery: plan (planned=%v, estimated rows=%.3f):\n%s\n",
+		prep.Planned(), prep.EstimatedRows(), out)
+	if prep.Stale() {
+		// The pattern introduced layouts the graph-inferred catalog lacked;
+		// evaluate written-order against a fresh extraction (the server path's
+		// fallback), which materializes them as null columns.
+		return metalog.QueryWithCatalogCtx(context.Background(), frozen, cat, pattern, vadalog.Options{})
+	}
+	db, err := metalog.ExtractFacts(frozen, cat)
+	if err != nil {
+		return nil, err
+	}
+	return prep.QueryDB(context.Background(), db, vadalog.Options{OwnInput: true})
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,8 +24,10 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/finance"
+	"repro/internal/metalog"
 	"repro/internal/obs"
 	"repro/internal/pg"
+	"repro/internal/plan"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
 )
@@ -41,6 +44,7 @@ func main() {
 	components := flag.String("component", "ownership,control", "comma-separated built-in components to run, in order")
 	sigma := flag.String("sigma", "", "additional MetaLog program file to run last")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for the reasoning fixpoint (1 = sequential)")
+	explain := flag.Bool("explain", false, "print each component's cost-based plan analysis to stderr before reasoning (execution is unchanged)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound per reasoning run (0 = none)")
 	traceFile := flag.String("trace", "", "write the JSON run trace (one section per component run) to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
@@ -100,6 +104,10 @@ func main() {
 		}
 	}
 
+	if *explain {
+		explainComponents(data, kg.IntensionalComponents(), kg.IntensionalPrograms())
+	}
+
 	opts := vadalog.Options{Workers: *workers, Timeout: *timeout, OnFault: onFault}
 	var trace *obs.Trace
 	if *traceFile != "" {
@@ -157,6 +165,34 @@ func main() {
 	}
 	if salvaged {
 		os.Exit(1)
+	}
+}
+
+// explainComponents prints each component's cost-based plan analysis —
+// per-rule join orders and cardinality estimates against the data instance's
+// statistics catalog (DESIGN.md §15). Analysis only: materialization always
+// executes the programs as written.
+func explainComponents(data *pg.Graph, names []string, progs []*metalog.Program) {
+	frozen := data.Freeze()
+	cat := metalog.FromGraph(frozen)
+	st := metalog.ComputePlanStats(frozen, cat)
+	for i, prog := range progs {
+		tr, err := metalog.Translate(prog, cat.Clone())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgreason: explain %s: %v\n", names[i], err)
+			continue
+		}
+		_, pl, err := plan.Compile(tr.Program, st, plan.Options{Demand: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgreason: explain %s: %v\n", names[i], err)
+			continue
+		}
+		out, err := json.MarshalIndent(pl, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgreason: explain %s: %v\n", names[i], err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "kgreason: plan for %s:\n%s\n", names[i], out)
 	}
 }
 

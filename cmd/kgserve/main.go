@@ -13,6 +13,9 @@
 //
 //	GET  /healthz   liveness, snapshot generation, graph size
 //	POST /query     {"query": "<MetaLog pattern>", "limit": 0}
+//	POST /explain   {"query": "<pattern>", "run": false} — the cost-based
+//	                plan and estimates for the pattern under the current
+//	                generation; "run": true adds the actual row count
 //	GET  /stats     §2.1 topological statistics of the snapshot
 //	POST /validate  {"strategy": "multi-label"} (needs -schema/-companykg)
 //	GET  /schema    catalog layout (+ GSL design when configured)
@@ -59,6 +62,8 @@ func main() {
 	maxFacts := flag.Int("max-facts", 1_000_000, "per-query derived-fact valve (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (negative = none)")
 	cache := flag.Int("cache", 1024, "query-result LRU entries (0 disables)")
+	planner := flag.Bool("planner", true, "cost-based query planning (statistics catalog, join ordering, demand; /explain)")
+	planCache := flag.Int("plan-cache", 128, "compiled-plan LRU entries (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	compactEvery := flag.Duration("compact-every", 0, "fold the live write overlay into a frozen generation at this interval (0 disables)")
 	compactDir := flag.String("compact-dir", "", "persist compacted generations as binary snapshots in this directory")
@@ -111,6 +116,8 @@ func main() {
 		MaxFacts:      *maxFacts,
 		Timeout:       *timeout,
 		CacheSize:     *cache,
+		PlannerOff:    !*planner,
+		PlanCacheSize: *planCache,
 		CompactEvery:  *compactEvery,
 		CompactDir:    *compactDir,
 		WALDir:        *walDir,

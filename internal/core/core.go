@@ -141,6 +141,17 @@ func (kg *KG) IntensionalComponents() []string {
 	return out
 }
 
+// IntensionalPrograms returns the registered programs in order, parallel to
+// IntensionalComponents — the parsed form, for analysis tools (kgreason
+// -explain). Callers must not mutate the programs.
+func (kg *KG) IntensionalPrograms() []*metalog.Program {
+	out := make([]*metalog.Program, len(kg.intensional))
+	for i, np := range kg.intensional {
+		out[i] = np.prog
+	}
+	return out
+}
+
 // GSL renders the design in the textual GSL dialect.
 func (kg *KG) GSL() string { return gsl.Serialize(kg.Schema) }
 

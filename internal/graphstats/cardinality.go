@@ -1,0 +1,22 @@
+package graphstats
+
+import "repro/internal/pg"
+
+// LabelCardinalities counts the nodes and edges carrying each label — the
+// cheap, single-pass slice of the statistics this package computes. Unlike
+// Compute, which walks the whole graph for SCCs, clustering and degree
+// distributions, this touches only the per-label postings the frozen layout
+// already maintains, so it is safe to run at every Freeze()/snapshot load.
+// It is the entry point the query planner's statistics catalog builds on
+// (see internal/plan.ComputeStats).
+func LabelCardinalities(g pg.View) (nodes, edges map[string]int) {
+	nodes = make(map[string]int)
+	edges = make(map[string]int)
+	for _, l := range g.NodeLabels() {
+		nodes[l] = len(g.NodesByLabel(l))
+	}
+	for _, l := range g.EdgeLabels() {
+		edges[l] = len(g.EdgesByLabel(l))
+	}
+	return nodes, edges
+}

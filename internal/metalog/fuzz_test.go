@@ -1,6 +1,13 @@
 package metalog
 
-import "testing"
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vadalog"
+)
 
 // FuzzParse exercises the MetaLog parser for panics and round-trip
 // stability.
@@ -23,6 +30,62 @@ func FuzzParse(f *testing.F) {
 		printed := prog.String()
 		if _, err := Parse(printed); err != nil {
 			t.Fatalf("printed form does not reparse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+	})
+}
+
+// FuzzPlanPattern exercises the whole prepare path — parse, translate, plan
+// (join ordering + demand) — on arbitrary pattern text. The contract: for any
+// input, PrepareQuery either errors or returns a Prepared whose planned
+// evaluation matches the written-order evaluation row for row. The planner
+// must never panic and never change semantics, whatever shape survives the
+// parser. make fuzz-smoke gives this a short budget.
+func FuzzPlanPattern(f *testing.F) {
+	seeds := []string{
+		`(x: Company)`,
+		`(x: Company; name: n) [: OWNS] (y: Company), x != y`,
+		`(p: Person) [: WORKS_FOR] (c: Company) [: OWNS] (d: Company)`,
+		`(x: Company) ([: OWNS])+ (y: Company)`,
+		`(x: Company) (([: OWNS] | [: WORKS_FOR]))+ (y: Company)`,
+		`(p: Person; age: a), a > 30, (p) [: WORKS_FOR] (c: Company)`,
+		`(x: Listed), (x: Company; name: n)`,
+		`(x: Company), not (x: Listed)`,
+		`(x: Company; cap: k), k > 100, (x) [: OWNS] (y: Company; cap: j), j < k`,
+		`(x: Nowhere; ghost: g)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := diffGraph(rand.New(rand.NewSource(17)))
+	frozen := g.Freeze()
+	f.Fuzz(func(t *testing.T, pattern string) {
+		if len(pattern) > 1<<12 {
+			return // bound engine work, not decoder behavior
+		}
+		cat := FromGraph(frozen)
+		st := ComputePlanStats(frozen, cat)
+		prep, err := PrepareQuery(cat, pattern, st)
+		if err != nil {
+			return
+		}
+		opts := vadalog.Options{Timeout: 2 * time.Second, MaxFacts: 50_000}
+		want, werr := Query(frozen, pattern, opts)
+		if prep.Stale() {
+			return // needs re-extraction; QueryDB refuses by contract
+		}
+		db, err := ExtractFacts(frozen, cat)
+		if err != nil {
+			t.Fatalf("extract after successful prepare: %v", err)
+		}
+		got, gerr := prep.QueryDB(context.Background(), db, opts)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("pattern %q: error mismatch: unplanned=%v planned=%v", pattern, werr, gerr)
+		}
+		if werr != nil {
+			return
+		}
+		if w, g := renderRows(want), renderRows(got); w != g {
+			t.Fatalf("pattern %q diverged:\nunplanned:\n%s\nplanned:\n%s", pattern, w, g)
 		}
 	})
 }

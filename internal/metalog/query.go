@@ -76,7 +76,7 @@ func QueryWithCatalogCtx(ctx context.Context, g pg.View, cat *Catalog, pattern s
 	// The fact database was extracted for this call alone; hand it over so
 	// the engine skips its defensive clone.
 	opts.OwnInput = true
-	return runQueryProgram(ctx, tr, vars, db, cat, opts)
+	return runQueryProgram(ctx, tr.Program, vars, db, cat, opts)
 }
 
 // ErrStaleDatabase reports that a query needs catalog layouts beyond the
@@ -120,7 +120,7 @@ func QueryDBCtx(ctx context.Context, db *vadalog.Database, cat *Catalog, pattern
 			return nil, fmt.Errorf("edge label %s: %w", l, ErrStaleDatabase)
 		}
 	}
-	return runQueryProgram(ctx, tr, vars, db, cat, opts)
+	return runQueryProgram(ctx, tr.Program, vars, db, cat, opts)
 }
 
 // buildQueryProgram parses a body pattern, wraps it into a __QueryResult
@@ -156,8 +156,8 @@ func buildQueryProgram(pattern string, cat *Catalog) (*Translation, []string, er
 	return tr, vars, nil
 }
 
-func runQueryProgram(ctx context.Context, tr *Translation, vars []string, db *vadalog.Database, cat *Catalog, opts vadalog.Options) ([]QueryRow, error) {
-	res, err := vadalog.RunCtx(ctx, tr.Program, db, opts)
+func runQueryProgram(ctx context.Context, prog *vadalog.Program, vars []string, db *vadalog.Database, cat *Catalog, opts vadalog.Options) ([]QueryRow, error) {
+	res, err := vadalog.RunCtx(ctx, prog, db, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -26,8 +26,37 @@ var (
 	retrySucceeded atomic.Int64
 	retryExhausted atomic.Int64
 
+	// Planner counters, bumped by the cost-based query path
+	// (metalog.Prepared): runs that executed a planned program vs the
+	// written-order fallback, prepare-time fallbacks to unplanned, and the
+	// running estimated-vs-actual row totals of planned runs — the drift
+	// between the two is the cost model's calibration signal.
+	plannedRuns    atomic.Int64
+	unplannedRuns  atomic.Int64
+	planFallbacks  atomic.Int64
+	planEstRows    atomic.Int64
+	planActualRows atomic.Int64
+
 	registerOnce sync.Once
 )
+
+// CountPlanRun records one query evaluation: planned selects which run
+// counter grows, and planned runs also accumulate the plan's estimated rows
+// against the rows actually returned.
+func CountPlanRun(planned bool, estRows, actualRows int64) {
+	if planned {
+		plannedRuns.Add(1)
+		planEstRows.Add(estRows)
+		planActualRows.Add(actualRows)
+	} else {
+		unplannedRuns.Add(1)
+	}
+}
+
+// CountPlanFallback records one prepare-time fallback to written-order
+// evaluation (no statistics, unsupported program shape, or a failed
+// planning pass).
+func CountPlanFallback() { planFallbacks.Add(1) }
 
 // CountRetry records one retry attempt of the named operation. The name is
 // currently informational (the counters are process-global); it keeps the
@@ -66,6 +95,9 @@ type CounterSnapshot struct {
 	Rounds, Derived                   int64
 
 	Retries, RetrySucceeded, RetryExhausted int64
+
+	PlannedRuns, UnplannedRuns, PlanFallbacks int64
+	PlanEstRows, PlanActualRows               int64
 }
 
 // Counters returns the current process-wide counter values.
@@ -80,6 +112,12 @@ func Counters() CounterSnapshot {
 		Retries:        retriesTotal.Load(),
 		RetrySucceeded: retrySucceeded.Load(),
 		RetryExhausted: retryExhausted.Load(),
+
+		PlannedRuns:    plannedRuns.Load(),
+		UnplannedRuns:  unplannedRuns.Load(),
+		PlanFallbacks:  planFallbacks.Load(),
+		PlanEstRows:    planEstRows.Load(),
+		PlanActualRows: planActualRows.Load(),
 	}
 }
 
@@ -97,6 +135,11 @@ func RegisterExpvar() {
 		m.Set("retries", expvar.Func(func() any { return retriesTotal.Load() }))
 		m.Set("retries_succeeded", expvar.Func(func() any { return retrySucceeded.Load() }))
 		m.Set("retries_exhausted", expvar.Func(func() any { return retryExhausted.Load() }))
+		m.Set("planned_runs", expvar.Func(func() any { return plannedRuns.Load() }))
+		m.Set("unplanned_runs", expvar.Func(func() any { return unplannedRuns.Load() }))
+		m.Set("plan_fallbacks", expvar.Func(func() any { return planFallbacks.Load() }))
+		m.Set("plan_est_rows", expvar.Func(func() any { return planEstRows.Load() }))
+		m.Set("plan_actual_rows", expvar.Func(func() any { return planActualRows.Load() }))
 		expvar.Publish("vadalog", m)
 	})
 }

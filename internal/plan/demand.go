@@ -1,0 +1,309 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/vadalog"
+)
+
+// Demand transformation (magic sets, per the Hogan et al. survey's query-
+// answering chapter, restricted to the shape the MetaLog translation emits):
+// a left-linear closure predicate
+//
+//	β(H,Q) :- base(H..Q).            (base)
+//	β(V,Q) :- β(V,H), base(H..Q).    (recursive)
+//
+// consumed only at occurrences whose first argument is bound earlier in the
+// consumer's (planned) body can be restricted to the demanded subset: seed
+// rules ·dmd·β(X) :- <consumer prefix binding X> collect the keys actually
+// probed, and the base rule gains a ·dmd·β(H) guard. Left-linearity then
+// confines the whole fixpoint to demanded start points — a point query walks
+// the reachable fraction instead of materializing the full closure. The
+// middle dot cannot appear in a parsed predicate name, so the guard
+// predicates never collide with user programs (the Maintainer's del·/ins·
+// trick).
+//
+// Programs outside this class — a closure consumed at an unbound position,
+// under negation, or exported as an output — keep the closure unrestricted;
+// the supported class is detected per predicate, and skipping it is always
+// sound because it only widens what is materialized.
+const (
+	demandPrefix = "·dmd·"
+	// demandSeedFactor gates worthiness: the seeds must be estimated at
+	// least 4x cheaper than the full closure, or the guard overhead cannot
+	// pay for itself.
+	demandSeedFactor = 0.25
+)
+
+// demandDecision is one closure predicate's rewrite, snapshotted before any
+// rule is mutated so overlapping rewrites cannot corrupt each other's
+// prefixes.
+type demandDecision struct {
+	pred            string
+	baseIdx, recIdx int
+	seeds           []vadalog.Rule
+	seedEst         float64
+	fullEst         float64
+}
+
+// applyDemand restricts every qualifying closure predicate of the planned
+// program, appending seed rules and guarding base rules in place, and
+// records the rewrites in pl.Demand. Rule indices of existing rules are
+// stable (seeds are appended), so Skolem functor naming and the plan's
+// rule alignment survive.
+func applyDemand(prog *vadalog.Program, st *Stats, pl *Plan) {
+	defs := map[string][]int{}
+	negated := map[string]bool{}
+	multiHead := map[string]bool{}
+	for i, r := range prog.Rules {
+		for _, h := range r.Head {
+			defs[h.Pred] = append(defs[h.Pred], i)
+			if len(r.Head) > 1 {
+				multiHead[h.Pred] = true
+			}
+		}
+		for _, l := range r.Body {
+			if l.Kind == vadalog.LitNegAtom {
+				negated[l.Atom.Pred] = true
+			}
+		}
+	}
+	outputs := map[string]bool{}
+	for _, o := range prog.Outputs() {
+		outputs[o] = true
+	}
+
+	var candidates []string
+	for pred, idxs := range defs {
+		if len(idxs) == 2 && !multiHead[pred] && !negated[pred] && !outputs[pred] {
+			candidates = append(candidates, pred)
+		}
+	}
+	sort.Strings(candidates)
+
+	var decisions []demandDecision
+	for _, pred := range candidates {
+		if d, ok := planDemand(prog, st, pl, pred, defs[pred]); ok {
+			decisions = append(decisions, d)
+		}
+	}
+
+	// Mutations after all decisions: guard the base rules, append the seeds.
+	for _, d := range decisions {
+		guard := demandPrefix + d.pred
+		base := &prog.Rules[d.baseIdx]
+		guardLit := vadalog.Literal{Kind: vadalog.LitAtom, Atom: vadalog.Atom{
+			Pred: guard, Args: []vadalog.Term{base.Head[0].Args[0]},
+		}}
+		base.Body = append([]vadalog.Literal{guardLit}, base.Body...)
+		rp := &pl.Rules[d.baseIdx]
+		rp.Literals = append([]LiteralPlan{{Text: guardLit.String(), OrigIndex: -1, EstRows: round3(d.seedEst)}}, rp.Literals...)
+
+		dp := DemandPlan{Pred: d.pred, Guard: guard, SeedEst: round3(d.seedEst), FullEst: round3(d.fullEst)}
+		for _, s := range d.seeds {
+			dp.Seeds = append(dp.Seeds, s.String())
+			prog.Rules = append(prog.Rules, s)
+		}
+		pl.Demand = append(pl.Demand, dp)
+	}
+}
+
+// planDemand decides one candidate predicate: shape-checks its two rules,
+// collects every consumer occurrence, and builds the seed rules. ok is false
+// when the predicate is outside the supported class or the worthiness gate
+// fails.
+func planDemand(prog *vadalog.Program, st *Stats, pl *Plan, pred string, def []int) (demandDecision, bool) {
+	baseIdx, recIdx, ok := classifyClosure(prog, pred, def[0], def[1])
+	if !ok {
+		return demandDecision{}, false
+	}
+	d := demandDecision{pred: pred, baseIdx: baseIdx, recIdx: recIdx}
+	d.fullEst = pl.Rules[baseIdx].EstRows + pl.Rules[recIdx].EstRows
+
+	guard := demandPrefix + pred
+	for ri := range prog.Rules {
+		if ri == baseIdx || ri == recIdx {
+			continue
+		}
+		r := prog.Rules[ri]
+		for li, l := range r.Body {
+			if l.Kind != vadalog.LitAtom || l.Atom.Pred != pred {
+				continue
+			}
+			if len(l.Atom.Args) != 2 {
+				return demandDecision{}, false
+			}
+			prefix := r.Body[:li]
+			if !prefixSelfContained(prefix) {
+				return demandDecision{}, false
+			}
+			bound := boundAfter(prefix)
+			first := l.Atom.Args[0]
+			if !termBound(first, bound) {
+				// Consumed at an unbound position: the closure is enumerated,
+				// not probed — demand would under-derive nothing but the
+				// guard could not restrict anything either. Unsupported.
+				return demandDecision{}, false
+			}
+			seed := vadalog.Rule{
+				Head: []vadalog.Atom{{Pred: guard, Args: []vadalog.Term{first}}},
+				Body: append([]vadalog.Literal(nil), prefix...),
+				Line: r.Line,
+			}
+			d.seeds = append(d.seeds, seed)
+			d.seedEst += prefixEst(pl.Rules[ri], li)
+		}
+	}
+	if len(d.seeds) == 0 {
+		return demandDecision{}, false
+	}
+	if d.seedEst > demandSeedFactor*d.fullEst {
+		return demandDecision{}, false
+	}
+	return d, true
+}
+
+// classifyClosure matches the two defining rules of pred against the
+// left-linear closure shape, returning which is the base and which the
+// recursive rule.
+func classifyClosure(prog *vadalog.Program, pred string, i, j int) (baseIdx, recIdx int, ok bool) {
+	if isClosureBase(prog.Rules[i], pred) && isClosureRec(prog.Rules[j], pred) {
+		return i, j, true
+	}
+	if isClosureBase(prog.Rules[j], pred) && isClosureRec(prog.Rules[i], pred) {
+		return j, i, true
+	}
+	return 0, 0, false
+}
+
+func isClosureBase(r vadalog.Rule, pred string) bool {
+	if len(r.Head) != 1 || len(r.Head[0].Args) != 2 || len(r.Body) == 0 {
+		return false
+	}
+	h, okH := r.Head[0].Args[0].(vadalog.Var)
+	q, okQ := r.Head[0].Args[1].(vadalog.Var)
+	if !okH || !okQ || h.Name == q.Name {
+		return false
+	}
+	for _, l := range r.Body {
+		if l.Kind != vadalog.LitExpr && l.Atom.Pred == pred {
+			return false
+		}
+	}
+	return true
+}
+
+func isClosureRec(r vadalog.Rule, pred string) bool {
+	if len(r.Head) != 1 || len(r.Head[0].Args) != 2 {
+		return false
+	}
+	v, okV := r.Head[0].Args[0].(vadalog.Var)
+	if !okV {
+		return false
+	}
+	recAt := -1
+	for i, l := range r.Body {
+		if l.Kind == vadalog.LitNegAtom && l.Atom.Pred == pred {
+			return false
+		}
+		if l.Kind == vadalog.LitAtom && l.Atom.Pred == pred {
+			if recAt != -1 {
+				return false // more than one recursive atom: not left-linear
+			}
+			recAt = i
+		}
+	}
+	if recAt == -1 {
+		return false
+	}
+	rec := r.Body[recAt].Atom
+	if len(rec.Args) != 2 {
+		return false
+	}
+	rv, ok := rec.Args[0].(vadalog.Var)
+	if !ok || rv.Name != v.Name {
+		return false
+	}
+	// V must thread straight from the recursive atom to the head: any other
+	// use could observe the restricted relation differently.
+	for i, l := range r.Body {
+		if i == recAt {
+			continue
+		}
+		for _, n := range l.VarNames() {
+			if n == v.Name {
+				return false
+			}
+		}
+	}
+	if q, ok := r.Head[0].Args[1].(vadalog.Var); ok && q.Name == v.Name {
+		return false
+	}
+	return true
+}
+
+// prefixSelfContained reports whether a body prefix can stand alone as a
+// seed-rule body: every condition and negated atom has its variables bound
+// within the prefix (by an atom or an assignment before it), so dropping
+// the consumer's suffix cannot change its meaning or its safety.
+func prefixSelfContained(prefix []vadalog.Literal) bool {
+	bound := map[string]bool{}
+	for _, l := range prefix {
+		switch l.Kind {
+		case vadalog.LitAtom:
+			for _, v := range l.Atom.Vars() {
+				bound[v] = true
+			}
+		case vadalog.LitNegAtom:
+			if !allBound(l.Atom.Vars(), bound) {
+				return false
+			}
+		case vadalog.LitExpr:
+			if tgt, ok := l.Expr.AssignTarget(); ok && !bound[tgt] {
+				bound[tgt] = true
+				rhs := l.Expr.VarNames()
+				rest := rhs[:0]
+				for _, v := range rhs {
+					if v != tgt {
+						rest = append(rest, v)
+					}
+				}
+				if !allBound(rest, bound) {
+					return false
+				}
+				continue
+			}
+			if !allBound(l.Expr.VarNames(), bound) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// boundAfter is the bound-variable set after evaluating a body prefix.
+func boundAfter(prefix []vadalog.Literal) map[string]bool {
+	bound := map[string]bool{}
+	for _, l := range prefix {
+		switch l.Kind {
+		case vadalog.LitAtom:
+			for _, v := range l.Atom.Vars() {
+				bound[v] = true
+			}
+		case vadalog.LitExpr:
+			if tgt, ok := l.Expr.AssignTarget(); ok {
+				bound[tgt] = true
+			}
+		}
+	}
+	return bound
+}
+
+// prefixEst is the estimated binding count feeding the literal at body
+// position li — the cumulative rows of the literal before it.
+func prefixEst(rp RulePlan, li int) float64 {
+	if li == 0 || len(rp.Literals) < li {
+		return 1
+	}
+	return rp.Literals[li-1].EstRows
+}

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/pg"
+	"repro/internal/value"
+)
+
+func statsGraph() (*pg.Graph, Layout) {
+	g := pg.New()
+	var companies []pg.OID
+	for i := 0; i < 10; i++ {
+		props := pg.Props{"name": value.Str([]string{"a", "b"}[i%2])}
+		if i%2 == 0 {
+			props["cap"] = value.IntV(int64(i))
+		}
+		companies = append(companies, g.AddNode([]string{"Company"}, props).ID)
+	}
+	g.AddNode([]string{"Person"}, pg.Props{"name": value.Str("p")})
+	for i := 0; i < 9; i++ {
+		g.MustAddEdge(companies[0], companies[i+1], "OWNS", pg.Props{"pct": value.FloatV(0.5)})
+	}
+	lay := Layout{
+		NodeProps: map[string][]string{"Company": {"cap", "name"}, "Person": {"name"}},
+		EdgeProps: map[string][]string{"OWNS": {"pct"}},
+	}
+	return g, lay
+}
+
+func TestComputeStats(t *testing.T) {
+	g, lay := statsGraph()
+	st := ComputeStats(g.Freeze(), lay)
+	if st.Nodes != 11 || st.Edges != 9 {
+		t.Fatalf("graph size = %d/%d, want 11/9", st.Nodes, st.Edges)
+	}
+	c, ok := st.Preds["Company"]
+	if !ok || c.Kind != "node" || c.Card != 10 {
+		t.Fatalf("Company stats = %+v", c)
+	}
+	// Columns: (oid, cap, name). The oid is a key; name has two distinct
+	// values; cap has 5 ints plus the shared absent bucket.
+	if len(c.Distinct) != 3 || c.Distinct[0] != 10 {
+		t.Fatalf("Company distincts = %v", c.Distinct)
+	}
+	if got := c.distinctAt(2); got != 2 {
+		t.Fatalf("distinct(name) = %d, want 2", got)
+	}
+	if got := c.distinctAt(1); got != 6 {
+		t.Fatalf("distinct(cap) = %d, want 6 (5 values + absent bucket)", got)
+	}
+	o, ok := st.Preds["OWNS"]
+	if !ok || o.Kind != "edge" || o.Card != 9 {
+		t.Fatalf("OWNS stats = %+v", o)
+	}
+	// Columns: (oid, from, to, pct). One hub fans out to nine targets.
+	if o.Distinct[1] != 1 || o.Distinct[2] != 9 {
+		t.Fatalf("OWNS from/to distincts = %v", o.Distinct)
+	}
+	// distinctAt outside the layout (or the stats) falls back to the default
+	// selectivity divisor, never zero.
+	if got := o.distinctAt(9); got != defaultDistinct {
+		t.Fatalf("distinctAt out of range = %d, want %d", got, defaultDistinct)
+	}
+	var missing PredStats
+	if got := missing.distinctAt(0); got != defaultDistinct {
+		t.Fatalf("zero-value distinctAt = %d, want %d", got, defaultDistinct)
+	}
+}
+
+func TestScaleDistinct(t *testing.T) {
+	// Exact when the sample covered everything; linearly extrapolated and
+	// clamped to the cardinality otherwise.
+	if got := scaleDistinct(5, 100, 100); got != 5 {
+		t.Fatalf("full sample = %d, want 5", got)
+	}
+	if got := scaleDistinct(50, 100, 1000); got != 500 {
+		t.Fatalf("extrapolated = %d, want 500", got)
+	}
+	if got := clampDistinct(5000, 1000); got != 1000 {
+		t.Fatalf("clamp high = %d, want 1000", got)
+	}
+	if got := clampDistinct(0, 1000); got != 1 {
+		t.Fatalf("clamp low = %d, want 1", got)
+	}
+}

@@ -64,6 +64,13 @@ type queryRequest struct {
 	Limit int `json:"limit"`
 }
 
+// explainRequest is the POST /explain payload: the pattern to plan, and
+// optionally Run to execute it and report actual rows next to the estimate.
+type explainRequest struct {
+	Query string `json:"query"`
+	Run   bool   `json:"run"`
+}
+
 // reloadRequest is the POST /reload payload; an empty body (or empty path)
 // reloads the server's configured source.
 type reloadRequest struct {
@@ -115,6 +122,27 @@ func decodeQueryRequest(body []byte) (*queryRequest, *apiError) {
 	}
 	if req.Limit < 0 {
 		return nil, errBadRequest("negative limit %d", req.Limit)
+	}
+	if _, err := metalog.ParseBody(req.Query); err != nil {
+		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_query", Message: err.Error()}
+	}
+	return req, nil
+}
+
+// decodeExplainRequest parses and validates an /explain body, with the same
+// guarantees as decodeQueryRequest (FuzzExplain exercises it): any input is
+// either a request or a typed error, never a panic.
+func decodeExplainRequest(body []byte) (*explainRequest, *apiError) {
+	req := &explainRequest{}
+	if err := strictUnmarshal(body, req); err != nil {
+		return nil, errBadRequest("decoding explain request: %v", err)
+	}
+	req.Query = strings.TrimSpace(req.Query)
+	if req.Query == "" {
+		return nil, errBadRequest("empty query")
+	}
+	if len(req.Query) > maxQueryLen {
+		return nil, errTooLarge(maxQueryLen)
 	}
 	if _, err := metalog.ParseBody(req.Query); err != nil {
 		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_query", Message: err.Error()}

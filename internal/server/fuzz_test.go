@@ -116,3 +116,49 @@ func FuzzDecodeMutation(f *testing.F) {
 		}
 	})
 }
+
+// FuzzExplain exercises the /explain request decoder with the same contract
+// as FuzzDecodeQuery: any client bytes produce either a request or a typed
+// apiError, never a panic, before the planner or a worker slot is touched.
+// make fuzz-smoke gives this a short budget.
+func FuzzExplain(f *testing.F) {
+	seeds := []string{
+		`{"query":"(x: Business; businessName: n) [: CONTROLS] (y: Business), x != y"}`,
+		`{"query":"(x: Business)","run":true}`,
+		`{"query":"(x: Business)","run":false}`,
+		`{"query":""}`,
+		`{"query":"((("}`,
+		`{"query":"(x: Business)","limit":10}`,
+		`{"run":true}`,
+		`{"query":"(x: B) ([: E])+ (y: B)","run":true}`,
+		`{"query`,
+		`[1,2,3]`,
+		`null`,
+		`{"query":"` + strings.Repeat("(x: A),", 200) + `(y: B)"}`,
+		"\xff\xfe{\"query\":\"(x: A)\"}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, aerr := decodeExplainRequest(data)
+		if (req == nil) == (aerr == nil) {
+			t.Fatalf("decoder must return exactly one of request/error: req=%v err=%v", req, aerr)
+		}
+		if aerr != nil {
+			if aerr.Status < 400 || aerr.Status > 599 {
+				t.Fatalf("error status out of range: %d", aerr.Status)
+			}
+			if aerr.Code == "" {
+				t.Fatal("error with empty code")
+			}
+			return
+		}
+		if req.Query == "" {
+			t.Fatalf("decoder accepted invalid request: %+v", req)
+		}
+		if canonicalQuery(req.Query) != canonicalQuery(canonicalQuery(req.Query)) {
+			t.Fatal("canonicalQuery is not idempotent")
+		}
+	})
+}

@@ -25,6 +25,10 @@ var (
 	mCompacts       atomic.Int64 // overlay-to-frozen compactions
 	mCompactErr     atomic.Int64 // failed compactions (overlay kept serving)
 
+	mPlanHits      atomic.Int64 // plan cache hits
+	mPlanMisses    atomic.Int64 // plan cache misses (prepare runs)
+	mStatsComputes atomic.Int64 // graph-stats walks (once per generation)
+
 	mWALAppends       atomic.Int64 // batches logged to the write-ahead log
 	mWALAppendErr     atomic.Int64 // failed appends (batch rejected)
 	mWALCheckpoints   atomic.Int64 // WAL truncation checkpoints stamped
@@ -42,6 +46,9 @@ type CounterSnapshot struct {
 
 	Mutates, MutateErrors, MutateFallbacks int64
 	Compactions, CompactErrors             int64
+
+	PlanCacheHits, PlanCacheMisses int64
+	StatsComputes                  int64
 
 	WALAppends, WALAppendErrors         int64
 	WALCheckpoints, WALCheckpointErrors int64
@@ -64,6 +71,10 @@ func CountersSnapshot() CounterSnapshot {
 		MutateFallbacks: mMutateFallback.Load(),
 		Compactions:     mCompacts.Load(),
 		CompactErrors:   mCompactErr.Load(),
+
+		PlanCacheHits:   mPlanHits.Load(),
+		PlanCacheMisses: mPlanMisses.Load(),
+		StatsComputes:   mStatsComputes.Load(),
 
 		WALAppends:          mWALAppends.Load(),
 		WALAppendErrors:     mWALAppendErr.Load(),
@@ -90,6 +101,9 @@ func registerExpvar() {
 		m.Set("mutate_fallbacks", expvar.Func(func() any { return mMutateFallback.Load() }))
 		m.Set("compactions", expvar.Func(func() any { return mCompacts.Load() }))
 		m.Set("compact_errors", expvar.Func(func() any { return mCompactErr.Load() }))
+		m.Set("plan_cache_hits", expvar.Func(func() any { return mPlanHits.Load() }))
+		m.Set("plan_cache_misses", expvar.Func(func() any { return mPlanMisses.Load() }))
+		m.Set("stats_computes", expvar.Func(func() any { return mStatsComputes.Load() }))
 		m.Set("wal_appends", expvar.Func(func() any { return mWALAppends.Load() }))
 		m.Set("wal_append_errors", expvar.Func(func() any { return mWALAppendErr.Load() }))
 		m.Set("wal_checkpoints", expvar.Func(func() any { return mWALCheckpoints.Load() }))

@@ -103,7 +103,7 @@ func (s *Server) Mutate(ops []overlay.Op) (MutateInfo, error) {
 			}
 		}
 		next = &snapshot{frozen: sn.frozen, view: ov, ov: ov, cat: cat, db: db,
-			build: sn.build, file: sn.file}
+			pstats: sn.pstats, build: sn.build, file: sn.file}
 		info = MutateInfo{
 			Ops:          len(ops),
 			AddedNodes:   len(diff.AddedNodes),

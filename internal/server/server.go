@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/pg"
+	"repro/internal/plan"
 	"repro/internal/snapfile"
 	"repro/internal/supermodel"
 	"repro/internal/vadalog"
@@ -106,6 +107,15 @@ type Config struct {
 	// MaxBody caps request body bytes (defaults to 1 MiB).
 	MaxBody int64
 
+	// PlannerOff disables the cost-based query planner: /query evaluates
+	// written-order programs, /explain answers with planner "off", and no
+	// statistics catalog is computed at snapshot build.
+	PlannerOff bool
+	// PlanCacheSize is the compiled-plan LRU capacity in entries, keyed by
+	// (generation, canonical pattern). 0 selects the 128 default; negative
+	// disables plan caching (plans are still computed, per request).
+	PlanCacheSize int
+
 	// CompactEvery starts a background compactor that folds the live write
 	// overlay into a fresh frozen generation at this interval; 0 disables
 	// it (compaction stays available through POST /compact).
@@ -155,6 +165,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = defaultMaxBody
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 128
+	} else if c.PlanCacheSize < 0 {
+		c.PlanCacheSize = 0
+	}
 	return c
 }
 
@@ -176,6 +191,13 @@ type snapshot struct {
 	ov  *overlay.Overlay
 	cat *metalog.Catalog
 	db  *vadalog.Database
+
+	// pstats is the planner's statistics catalog, computed once per frozen
+	// generation (nil with the planner off). Mutated generations carry the
+	// base's stats forward unchanged — estimates drift with the overlay but
+	// correctness never depends on them, and the next compaction or reload
+	// recomputes from scratch.
+	pstats *plan.Stats
 
 	// build is the provenance header of the snapshot file this generation
 	// was opened from; nil for JSON loads and in-memory graphs. Surfaced by
@@ -199,6 +221,7 @@ type Server struct {
 	snap  atomic.Pointer[snapshot]
 	pool  *pool
 	cache *resultCache
+	plans *planCache
 	lat   *obs.LatencyTracker
 	mux   *http.ServeMux
 	http  *http.Server
@@ -315,11 +338,13 @@ func newServer(cfg Config) *Server {
 		cfg:   cfg,
 		pool:  newPool(cfg.MaxInflight),
 		cache: newResultCache(cfg.CacheSize),
+		plans: newPlanCache(cfg.PlanCacheSize),
 		lat:   obs.NewLatencyTracker(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/healthz", s.endpoint("healthz", http.MethodGet, false, s.handleHealthz))
 	s.mux.Handle("/query", s.endpoint("query", http.MethodPost, true, s.handleQuery))
+	s.mux.Handle("/explain", s.endpoint("explain", http.MethodPost, true, s.handleExplain))
 	s.mux.Handle("/stats", s.endpoint("stats", http.MethodGet, true, s.handleStats))
 	s.mux.Handle("/validate", s.endpoint("validate", http.MethodPost, true, s.handleValidate))
 	s.mux.Handle("/schema", s.endpoint("schema", http.MethodGet, false, s.handleSchema))
@@ -443,7 +468,11 @@ func (s *Server) buildFromFrozen(frozen *pg.Frozen, build *snapfile.BuildInfo) (
 	if err != nil {
 		return nil, fmt.Errorf("server: extracting facts: %w", err)
 	}
-	return &snapshot{frozen: frozen, view: frozen, cat: cat, db: db, build: build}, nil
+	sn := &snapshot{frozen: frozen, view: frozen, cat: cat, db: db, build: build}
+	if !s.cfg.PlannerOff {
+		sn.pstats = metalog.ComputePlanStats(frozen, cat)
+	}
+	return sn, nil
 }
 
 // ReloadInfo describes a completed snapshot swap.
@@ -624,16 +653,23 @@ func (s *Server) handleQuery(r *http.Request) (*apiResult, *apiError) {
 		MaxFacts: s.cfg.MaxFacts,
 		OnFault:  s.cfg.OnFault,
 	}
-	// The snapshot's database is shared read-only across queries: the
-	// engine clones it (OwnInput is left false); the catalog is cloned here
-	// because translation extends it with the query-result layout.
-	rows, err := metalog.QueryDBCtx(ctx, sn.db, sn.cat.Clone(), req.Query, opts)
-	if errors.Is(err, metalog.ErrStaleDatabase) {
-		// The pattern mentions labels or properties the shared database has
-		// no columns for. Re-extract against a fresh catalog clone so those
-		// layouts materialize as null columns — slower, but the result is
-		// still cached under this generation.
-		rows, err = metalog.QueryWithCatalogCtx(ctx, sn.view, sn.cat.Clone(), req.Query, opts)
+	var rows []metalog.QueryRow
+	var err error
+	if s.cfg.PlannerOff {
+		// Planner disabled: the pre-planner path, per request. The snapshot's
+		// database is shared read-only across queries: the engine clones it
+		// (OwnInput is left false); the catalog is cloned because translation
+		// extends it with the query-result layout.
+		rows, err = metalog.QueryDBCtx(ctx, sn.db, sn.cat.Clone(), req.Query, opts)
+		if errors.Is(err, metalog.ErrStaleDatabase) {
+			rows, err = metalog.QueryWithCatalogCtx(ctx, sn.view, sn.cat.Clone(), req.Query, opts)
+		}
+	} else {
+		var prep *metalog.Prepared
+		prep, _, err = s.preparedFor(sn, req.Query)
+		if err == nil {
+			rows, err = s.queryRows(ctx, sn, prep, req.Query, opts)
+		}
 	}
 	if err != nil {
 		return nil, mapEvalError(err)
@@ -646,6 +682,19 @@ func (s *Server) handleQuery(r *http.Request) (*apiResult, *apiError) {
 	}
 	s.cache.put(key, out)
 	return &apiResult{body: out, gen: sn.gen, cache: "miss"}, nil
+}
+
+// queryRows runs a prepared query against the snapshot's shared database,
+// with the stale-pattern fallback of the unplanned path: a pattern that
+// mentions labels or properties the shared database has no columns for is
+// re-extracted (and evaluated written-order) against a fresh catalog clone —
+// slower, but the result is still cached under this generation.
+func (s *Server) queryRows(ctx context.Context, sn *snapshot, prep *metalog.Prepared, query string, opts vadalog.Options) ([]metalog.QueryRow, error) {
+	rows, err := prep.QueryDB(ctx, sn.db, opts)
+	if errors.Is(err, metalog.ErrStaleDatabase) {
+		rows, err = metalog.QueryWithCatalogCtx(ctx, sn.view, sn.cat.Clone(), query, opts)
+	}
+	return rows, err
 }
 
 // buildQueryResponse renders rows deterministically: columns are the sorted
@@ -698,6 +747,11 @@ func cellJSON(v value.Value) any {
 func (s *Server) handleStats(*http.Request) (*apiResult, *apiError) {
 	sn := s.current()
 	sn.statsOnce.Do(func() {
+		// The expensive graph walk runs once per generation — mutations,
+		// compactions and reloads install a fresh snapshot struct, so its
+		// sync.Once naturally re-arms. mStatsComputes counts the walks; tests
+		// assert N requests cost one.
+		mStatsComputes.Add(1)
 		sn.stats = graphstats.Compute(sn.view)
 		// Snapshot-file generations carry their provenance header; plain
 		// JSON generations marshal the bare stats, so existing outputs stay
@@ -715,17 +769,29 @@ func (s *Server) handleStats(*http.Request) (*apiResult, *apiError) {
 		}
 		sn.statsJSON = append(b, '\n')
 	})
-	if s.wal == nil {
+	if s.wal == nil && s.cfg.PlannerOff {
 		return &apiResult{body: sn.statsJSON, gen: sn.gen}, nil
 	}
-	// With a WAL the response gains a live "wal" section (durability lag and
-	// compaction debt), re-marshaled per request around the cached graph
-	// stats; WAL-less responses above stay bit-identical to previous builds.
+	// With the planner or a WAL active the response gains live sections — the
+	// planner's cache and run counters, the WAL's durability lag and
+	// compaction debt — re-marshaled per request around the cached graph
+	// stats. Planner-off WAL-less responses above stay bit-identical to
+	// previous builds.
+	var ws *wal.Stats
+	if s.wal != nil {
+		w := s.wal.Stats()
+		ws = &w
+	}
+	var ps *plannerSection
+	if !s.cfg.PlannerOff {
+		ps = s.plannerStats()
+	}
 	out, aerr := marshalBody(struct {
 		Build *snapfile.BuildInfo `json:"build,omitempty"`
 		graphstats.Stats
-		WAL wal.Stats `json:"wal"`
-	}{sn.build, sn.stats, s.wal.Stats()})
+		Planner *plannerSection `json:"planner,omitempty"`
+		WAL     *wal.Stats      `json:"wal,omitempty"`
+	}{sn.build, sn.stats, ps, ws})
 	if aerr != nil {
 		return nil, aerr
 	}
