@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr bench-wal bench-plan
+.PHONY: build vet test test-race test-chaos fuzz-smoke cover check bench bench-storage bench-serve bench-snapshot bench-incr bench-wal bench-plan bench-load
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ test-race: build
 	$(GO) test -race -count=3 -run 'TestCancel|TestTimeout|TestCallerDeadline|TestGoldenTrace|TestTraceSequentialFallbacks' ./internal/vadalog/
 	$(GO) test -race -count=3 -run 'TestFrozenConcurrentReaders|TestFrozenQueryConcurrent|TestConcurrentFrozenReaders' ./internal/pg/ ./internal/metalog/ ./internal/symtab/
 	$(GO) test -race -count=2 -run 'TestServeSoak|TestConcurrentQueriesShareSnapshot' ./internal/server/
+	$(GO) test -race -count=2 -run 'TestConcurrentBulkIngest' ./internal/pg/
 	$(GO) test -race -run '^$$' -bench 'BenchmarkE11DescFrom|BenchmarkE1GraphStats' -benchtime 1x .
 
 # test-chaos sweeps every registered fault-injection site across error and
@@ -49,6 +50,7 @@ fuzz-smoke: build
 	$(GO) test -fuzz '^FuzzReplayWAL$$' -fuzztime 10s -run '^$$' ./internal/wal/
 	$(GO) test -fuzz '^FuzzPlanPattern$$' -fuzztime 10s -run '^$$' ./internal/metalog/
 	$(GO) test -fuzz '^FuzzExplain$$' -fuzztime 10s -run '^$$' ./internal/server/
+	$(GO) test -fuzz '^FuzzBulkLoadBatch$$' -fuzztime 10s -run '^$$' ./internal/pg/
 
 # cover enforces the per-package coverage floors on the newest subsystems —
 # the serving layer and the on-disk snapshot format both carry the strictest
@@ -86,6 +88,12 @@ cover: build
 	echo "internal/plan coverage: $$total% (floor 70%)"; \
 	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
 	{ echo "FAIL: internal/plan coverage $$total% is below the 70% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover_pg.out ./internal/pg/
+	@total=$$($(GO) tool cover -func=cover_pg.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover_pg.out; \
+	echo "internal/pg coverage: $$total% (floor 70%)"; \
+	awk -v t="$$total" 'BEGIN { exit (t + 0 >= 70.0) ? 0 : 1 }' || \
+	{ echo "FAIL: internal/pg coverage $$total% is below the 70% floor"; exit 1; }
 
 # check is the tier-1 gate: vet + full suite, the race-detector pass, the
 # chaos sweep, the fuzz smoke test, and the coverage floor.
@@ -164,3 +172,18 @@ bench-plan: build
 	RUN_PLAN_GATE=1 $(GO) test -run '^TestPlanPointQueryGate$$' -count=1 ./internal/metalog/
 	$(GO) run ./cmd/benchjson < BENCH_plan.txt > BENCH_plan.json
 	rm -f BENCH_plan.txt
+
+# bench-load captures the E25 streaming-ingest benchmarks (EXPERIMENTS.md) —
+# stream-vs-materialize load legs at 1M/10M/100M edges, each in a fresh child
+# process so peak RSS (VmHWM) is per-leg, plus the delayed-backend worker
+# floor pair — into BENCH_load.json via cmd/benchjson (-strip-procs so gate
+# lookups are name-stable), then runs the E25 acceptance gates: W=8 ingest at
+# least 3x W=1 edges/sec against the backend floor, and stream peak RSS at
+# most 25% of the materializing generator's at 10M edges. The 100M leg needs
+# ~20 GB and a few minutes; the committed file is the baseline, regenerate on
+# comparable hardware before comparing numbers.
+bench-load: build
+	LOADBENCH_FULL=1 $(GO) test -run '^$$' -bench 'BenchmarkLoad' -benchtime 1x -timeout 60m ./internal/fingraph/ | tee BENCH_load.txt
+	$(GO) run ./cmd/benchjson -strip-procs < BENCH_load.txt > BENCH_load.json
+	RUN_LOAD_GATE=1 $(GO) test -run '^TestBenchLoadGates$$' -count=1 ./internal/fingraph/
+	rm -f BENCH_load.txt

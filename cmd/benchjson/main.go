@@ -8,6 +8,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -25,7 +26,25 @@ type result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// stripProcs removes the trailing "-<digits>" GOMAXPROCS suffix go test
+// appends to benchmark names (BenchmarkLoadStream1M-8 → BenchmarkLoadStream1M)
+// so gate tests can look results up by stable name across machines.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 func main() {
+	noProcs := flag.Bool("strip-procs", false, "strip the trailing -<GOMAXPROCS> suffix from benchmark names")
+	flag.Parse()
 	var out []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -38,7 +57,11 @@ func main() {
 		if err != nil {
 			continue
 		}
-		r := result{Name: fields[0], Runs: runs}
+		name := fields[0]
+		if *noProcs {
+			name = stripProcs(name)
+		}
+		r := result{Name: name, Runs: runs}
 		// The remainder is value/unit pairs: 12345 ns/op  678 B/op  9 allocs/op.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)

@@ -18,11 +18,35 @@ import (
 	"repro/internal/value"
 )
 
+// Identifier format versions (Config.FormatVersion). The zero value selects
+// FormatLegacy, so existing configurations keep their historical output.
+const (
+	// FormatLegacy renders fiscal codes with 8-digit zero-padded indexes
+	// (PF%08d / CO%08d). Past 10⁸ entities the codes outgrow their field:
+	// the fixed-width contract breaks, lexicographic order stops agreeing
+	// with numeric order, and downstream consumers that slice or sort codes
+	// positionally misattribute entities. TestCodeWidthBoundary pins the
+	// hazard.
+	FormatLegacy = 1
+	// FormatWide renders 10-digit codes (PF%010d / CO%010d), keeping the
+	// fixed-width contract intact up to 10¹⁰ entities — past every scale
+	// the 100M-edge data plane targets. Selecting it changes every rendered
+	// code, so it is gated behind an explicit version bump rather than an
+	// entity-count heuristic.
+	FormatWide = 2
+)
+
 // Config parameterizes the generator. The defaults (see DefaultConfig)
 // reproduce the Section 2.1 shape.
 type Config struct {
 	Seed      int64
 	Companies int
+
+	// FormatVersion selects the synthetic-identifier format (FormatLegacy
+	// or FormatWide); 0 means FormatLegacy. The streaming generator refuses
+	// scales whose entity indexes would overflow the selected code width —
+	// the loud half of the format-version guard.
+	FormatVersion int
 
 	// PersonsPerCompany controls how many natural persons exist relative to
 	// companies (the Bank of Italy graph has roughly 2 persons per company
@@ -107,24 +131,65 @@ type Topology struct {
 	Stakes    []Stake
 }
 
-// GenerateTopology builds the shareholding structure.
-func GenerateTopology(cfg Config) *Topology {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// normalized applies the historical in-place Config adjustments of
+// GenerateTopology, so every consumer of the shared generation core (the
+// materializing path, the streaming prepass, the streaming emission pass)
+// sees the same effective configuration.
+func (cfg Config) normalized() Config {
 	if cfg.Companies <= 0 {
 		cfg.Companies = 100
 	}
 	if cfg.CycleCluster == 0 && cfg.Companies >= 2000 {
 		cfg.CycleCluster = cfg.Companies / 1500
 	}
-	t := &Topology{Config: cfg, Companies: cfg.Companies}
+	return cfg
+}
 
-	// The global pools from which connected companies draw shareholders;
+// topoSink receives the deterministic event stream of one generation run.
+// person(i) fires when natural person i is created (indexes are dense and
+// ascending); stake fires for every generated stake in emission order, with
+// tail=true for the post-main-loop phases (pyramids, cross-holdings, cycle
+// cluster), whose holders are always companies.
+type topoSink interface {
+	person(i int)
+	stake(h Holder, company int, pct float64, tail bool)
+}
+
+// Pool entries are packed into int32 — persons as the index itself,
+// companies as its bitwise complement — because at 100M-edge scale the
+// preferential-attachment pool holds tens of millions of entries and the
+// 16-byte Holder struct would quadruple its footprint. The packing caps
+// entity indexes at 2³¹-1, far above any feasible in-memory scale.
+func encodePool(h Holder) int32 {
+	if h.IsCompany {
+		return ^int32(h.Index)
+	}
+	return int32(h.Index)
+}
+
+func decodePool(v int32) Holder {
+	if v < 0 {
+		return Holder{IsCompany: true, Index: int(^v)}
+	}
+	return Holder{IsCompany: false, Index: int(v)}
+}
+
+// runTopology is the generation core shared by GenerateTopology and the
+// streaming generator. It drives the seeded RNG through the exact historical
+// call sequence — the determinism contract every differential test pins —
+// and reports each event to the sink. It returns the number of persons
+// created. cfg must already be normalized.
+func runTopology(cfg Config, sink topoSink) (persons int) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// The global pool from which connected companies draw shareholders;
 	// repeated entries implement preferential attachment ("the rich get
 	// richer" — every acquired stake re-enters the pool).
-	var pool []Holder
+	var pool []int32
 	addPerson := func() Holder {
-		h := Holder{IsCompany: false, Index: t.Persons}
-		t.Persons++
+		h := Holder{IsCompany: false, Index: persons}
+		sink.person(persons)
+		persons++
 		return h
 	}
 
@@ -149,8 +214,14 @@ func GenerateTopology(cfg Config) *Topology {
 		return k
 	}
 
+	// pctBuf is reused across companies: stakes receive the percentage by
+	// value, so nothing aliases the buffer past one company's loop.
+	var pctBuf []float64
 	splitPercent := func(k int, majority bool) []float64 {
-		out := make([]float64, k)
+		if cap(pctBuf) < k {
+			pctBuf = make([]float64, k)
+		}
+		out := pctBuf[:k]
 		if k == 1 {
 			out[0] = 1
 			return out
@@ -177,13 +248,18 @@ func GenerateTopology(cfg Config) *Topology {
 		return out
 	}
 
+	// seen dedups holder picks within one company. Shareholder counts are
+	// bounded by zipfK's tail (~a hundred), so a linear scan over a reused
+	// slice replaces the historical per-company map without touching the
+	// RNG sequence — the map was never iterated.
+	seen := make([]Holder, 0, 32)
 	for c := 0; c < cfg.Companies; c++ {
 		k := zipfK(cfg.MeanShareholders)
 		majority := rng.Float64() < cfg.MajorityFraction
 		pcts := splitPercent(k, majority)
 		local := rng.Float64() < cfg.LocalFraction
 
-		seen := map[Holder]bool{}
+		seen = seen[:0]
 		for i := 0; i < k; i++ {
 			var h Holder
 			switch {
@@ -192,7 +268,7 @@ func GenerateTopology(cfg Config) *Topology {
 			case rng.Float64() < cfg.CompanyHolderFraction && c > 0:
 				// A company holder: prefer companies with existing stakes.
 				if cfg.PreferentialAttachment > rng.Float64() && len(pool) > 0 {
-					h = pool[rng.Intn(len(pool))]
+					h = decodePool(pool[rng.Intn(len(pool))])
 					if !h.IsCompany {
 						h = Holder{IsCompany: true, Index: rng.Intn(c)}
 					}
@@ -201,7 +277,7 @@ func GenerateTopology(cfg Config) *Topology {
 				}
 			default:
 				if cfg.PreferentialAttachment > rng.Float64() && len(pool) > 0 {
-					h = pool[rng.Intn(len(pool))]
+					h = decodePool(pool[rng.Intn(len(pool))])
 				} else {
 					h = addPerson()
 				}
@@ -209,13 +285,20 @@ func GenerateTopology(cfg Config) *Topology {
 			if h.IsCompany && h.Index == c {
 				h = addPerson() // no self-ownership
 			}
-			if seen[h] {
+			dup := false
+			for _, s := range seen {
+				if s == h {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue // merge duplicate picks into a single stake
 			}
-			seen[h] = true
-			t.Stakes = append(t.Stakes, Stake{Holder: h, Company: c, Pct: pcts[i]})
+			seen = append(seen, h)
+			sink.stake(h, c, pcts[i], false)
 			if !local {
-				pool = append(pool, h)
+				pool = append(pool, encodePool(h))
 			}
 		}
 	}
@@ -225,11 +308,7 @@ func GenerateTopology(cfg Config) *Topology {
 		chained := int(float64(cfg.Companies) * cfg.PyramidFraction)
 		for start := 0; start+cfg.PyramidDepth <= chained; start += cfg.PyramidDepth {
 			for i := 0; i < cfg.PyramidDepth-1; i++ {
-				t.Stakes = append(t.Stakes, Stake{
-					Holder:  Holder{IsCompany: true, Index: start + i},
-					Company: start + i + 1,
-					Pct:     0.51 + rng.Float64()*0.3,
-				})
+				sink.stake(Holder{IsCompany: true, Index: start + i}, start+i+1, 0.51+rng.Float64()*0.3, true)
 			}
 		}
 	}
@@ -243,10 +322,8 @@ func GenerateTopology(cfg Config) *Topology {
 		if a == b {
 			continue
 		}
-		t.Stakes = append(t.Stakes,
-			Stake{Holder: Holder{IsCompany: true, Index: a}, Company: b, Pct: 0.05 + rng.Float64()*0.1},
-			Stake{Holder: Holder{IsCompany: true, Index: b}, Company: a, Pct: 0.05 + rng.Float64()*0.1},
-		)
+		sink.stake(Holder{IsCompany: true, Index: a}, b, 0.05+rng.Float64()*0.1, true)
+		sink.stake(Holder{IsCompany: true, Index: b}, a, 0.05+rng.Float64()*0.1, true)
 	}
 	// One larger ring of cross-held companies, standing in for the 1.9k
 	// largest SCC of the production graph.
@@ -255,18 +332,39 @@ func GenerateTopology(cfg Config) *Topology {
 		for i := 0; i < cfg.CycleCluster; i++ {
 			from := start + i
 			to := start + (i+1)%cfg.CycleCluster
-			t.Stakes = append(t.Stakes, Stake{
-				Holder: Holder{IsCompany: true, Index: from}, Company: to,
-				Pct: 0.05 + rng.Float64()*0.05,
-			})
+			sink.stake(Holder{IsCompany: true, Index: from}, to, 0.05+rng.Float64()*0.05, true)
 		}
 	}
+	return persons
+}
+
+// collectSink materializes the event stream into a Topology.
+type collectSink struct{ t *Topology }
+
+func (s collectSink) person(int) {}
+func (s collectSink) stake(h Holder, company int, pct float64, _ bool) {
+	s.t.Stakes = append(s.t.Stakes, Stake{Holder: h, Company: company, Pct: pct})
+}
+
+// GenerateTopology builds the shareholding structure.
+func GenerateTopology(cfg Config) *Topology {
+	cfg = cfg.normalized()
+	t := &Topology{Config: cfg, Companies: cfg.Companies}
+	t.Persons = runTopology(cfg, collectSink{t})
 	return t
 }
 
-// personCode and companyCode build synthetic fiscal codes.
-func personCode(i int) string  { return fmt.Sprintf("PF%08d", i) }
-func companyCode(i int) string { return fmt.Sprintf("CO%08d", i) }
+// personCode and companyCode build synthetic fiscal codes at the width the
+// config's FormatVersion selects.
+func (cfg Config) codeWidth() int {
+	if cfg.FormatVersion >= FormatWide {
+		return 10
+	}
+	return 8
+}
+
+func (cfg Config) personCode(i int) string  { return fmt.Sprintf("PF%0*d", cfg.codeWidth(), i) }
+func (cfg Config) companyCode(i int) string { return fmt.Sprintf("CO%0*d", cfg.codeWidth(), i) }
 
 // Shareholding renders the topology as the paper's "simple shareholding
 // graph": nodes are shareholders (persons and companies, all also tagged
@@ -280,12 +378,12 @@ func (t *Topology) Shareholding() *pg.Graph {
 	companyOID := make([]pg.OID, t.Companies)
 	for i := 0; i < t.Persons; i++ {
 		personOID[i] = g.AddNode([]string{"PhysicalPerson", "Entity"}, pg.Props{
-			"fiscalCode": value.Str(personCode(i)),
+			"fiscalCode": value.Str(t.Config.personCode(i)),
 		}).ID
 	}
 	for i := 0; i < t.Companies; i++ {
 		companyOID[i] = g.AddNode([]string{"Business", "Entity"}, pg.Props{
-			"fiscalCode": value.Str(companyCode(i)),
+			"fiscalCode": value.Str(t.Config.companyCode(i)),
 		}).ID
 	}
 	type pair struct{ from, to pg.OID }
@@ -330,7 +428,7 @@ func (t *Topology) CompanyKG() *pg.Graph {
 	for i := 0; i < t.Persons; i++ {
 		surname := surnames[rng.Intn(len(surnames))]
 		personOID[i] = g.AddNode([]string{"PhysicalPerson", "Person"}, pg.Props{
-			"fiscalCode": value.Str(personCode(i)),
+			"fiscalCode": value.Str(t.Config.personCode(i)),
 			"name":       value.Str(surname + " " + firstNames[rng.Intn(len(firstNames))]),
 			"gender":     value.Str(genders[rng.Intn(2)]),
 			"birthDate":  value.Str(fmt.Sprintf("%04d-%02d-%02d", 1930+rng.Intn(70), 1+rng.Intn(12), 1+rng.Intn(28))),
@@ -339,7 +437,7 @@ func (t *Topology) CompanyKG() *pg.Graph {
 	companyOID := make([]pg.OID, t.Companies)
 	for i := 0; i < t.Companies; i++ {
 		companyOID[i] = g.AddNode([]string{"Business", "LegalPerson", "Person"}, pg.Props{
-			"fiscalCode":          value.Str(companyCode(i)),
+			"fiscalCode":          value.Str(t.Config.companyCode(i)),
 			"businessName":        value.Str(fmt.Sprintf("company-%d %s", i, natures[rng.Intn(len(natures))])),
 			"legalNature":         value.Str(natures[rng.Intn(len(natures))]),
 			"shareholdingCapital": value.FloatV(float64(10000 + rng.Intn(10_000_000))),

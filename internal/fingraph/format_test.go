@@ -1,0 +1,72 @@
+package fingraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCodeFormatBoundary pins the fixed-width code contract on both sides of
+// the 10⁸ boundary. The legacy %08d format does not truncate past 10⁸ — fmt
+// widens the field — but the widened codes break the fixed-width /
+// lexicographic-order contract downstream consumers assume: "PF100000000"
+// sorts before "PF99999999". FormatWide restores the contract out to 10¹⁰.
+func TestCodeFormatBoundary(t *testing.T) {
+	legacy := Config{}
+	wide := Config{FormatVersion: FormatWide}
+
+	// In range, both formats are fixed-width and order-preserving.
+	if got := legacy.personCode(0); got != "PF00000000" {
+		t.Fatalf("legacy personCode(0) = %q", got)
+	}
+	if got := legacy.companyCode(99_999_999); got != "CO99999999" {
+		t.Fatalf("legacy companyCode(1e8-1) = %q", got)
+	}
+	if got := wide.personCode(0); got != "PF0000000000" {
+		t.Fatalf("wide personCode(0) = %q", got)
+	}
+	if got := wide.companyCode(9_999_999_999); got != "CO9999999999" {
+		t.Fatalf("wide companyCode(1e10-1) = %q", got)
+	}
+
+	// Past the boundary the legacy format silently widens — the hazard the
+	// format-version guard exists for: codes stop being fixed-width and
+	// lexicographic order diverges from numeric order.
+	over := legacy.personCode(100_000_000)
+	if len(over) == len(legacy.personCode(0)) {
+		t.Fatalf("expected legacy code to widen past 1e8, got %q", over)
+	}
+	if !(over < legacy.personCode(99_999_999)) {
+		t.Fatalf("expected lexicographic inversion at the legacy boundary")
+	}
+
+	// FormatWide keeps the contract intact across the same boundary.
+	w1, w2 := wide.personCode(99_999_999), wide.personCode(100_000_000)
+	if len(w1) != len(w2) || !(w1 < w2) {
+		t.Fatalf("wide format broke fixed width/order at 1e8: %q vs %q", w1, w2)
+	}
+
+	// Prefixes are stable across versions so entity kinds stay decodable.
+	for _, c := range []string{legacy.personCode(7), wide.personCode(7)} {
+		if !strings.HasPrefix(c, "PF") {
+			t.Fatalf("person code %q lost its PF prefix", c)
+		}
+	}
+}
+
+// TestCodeWidthSelection pins the version→width mapping, including the
+// zero-value default.
+func TestCodeWidthSelection(t *testing.T) {
+	cases := []struct {
+		version int
+		width   int
+	}{
+		{0, 8}, // zero value defaults to legacy
+		{FormatLegacy, 8},
+		{FormatWide, 10},
+	}
+	for _, c := range cases {
+		if got := (Config{FormatVersion: c.version}).codeWidth(); got != c.width {
+			t.Fatalf("codeWidth(version=%d) = %d, want %d", c.version, got, c.width)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package fingraph
+
+// The E25 load-path benchmarks: streaming generation through the sharded
+// bulk loader versus the materializing pipeline it replaces, at 1M, 10M,
+// and 100M edges.
+//
+// Peak RSS is the metric the streaming plane exists to bound, and it is only
+// measurable in a process that has done nothing else — a benchmark that ran
+// the materializing leg first would report its high-water mark for every leg
+// after it. So each measured leg re-executes this test binary with
+// LOADBENCH_CHILD=1 (the crash-harness pattern from internal/server): the
+// child runs exactly one load, reads VmHWM from /proc/self/status, and
+// prints a one-line JSON result the parent turns into b.ReportMetric values
+// (edges/sec, peak-RSS-bytes) for cmd/benchjson to capture.
+//
+// The 10M/100M legs only run under LOADBENCH_FULL=1 (set by make bench-load);
+// a bare `go test -bench Load` gets the 1M legs and the backend-floor pair.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/pg"
+	"repro/internal/testutil"
+)
+
+const loadChildEnv = "LOADBENCH_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(loadChildEnv) == "1" {
+		runLoadChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// loadBenchConfig is the benchmark graph shape — the 10M-edge smoke
+// configuration from integration_test.go scaled by company count, which
+// yields ~3.1 edges and ~3 nodes per company.
+func loadBenchConfig(companies int) Config {
+	return Config{
+		Companies:              companies,
+		MeanShareholders:       2.0,
+		MajorityFraction:       0.6,
+		LocalFraction:          0.55,
+		CompanyHolderFraction:  0.35,
+		PreferentialAttachment: 0.6,
+		CrossHoldingFraction:   0.002,
+		Seed:                   20260809,
+	}
+}
+
+// Companies per edge-count target under loadBenchConfig (~3.03 edges per
+// company; the 100M leg is padded so it lands above, not below, 100M).
+const (
+	companies1M   = 320_000
+	companies10M  = 3_200_000
+	companies100M = 33_500_000
+)
+
+type loadChildResult struct {
+	Edges      int   `json:"edges"`
+	Nodes      int   `json:"nodes"`
+	WallNs     int64 `json:"wall_ns"`
+	VmHWMBytes int64 `json:"vm_hwm_bytes"`
+}
+
+// runLoadChild executes one load leg described by environment variables and
+// prints its result as JSON. It is the whole life of the child process, so
+// VmHWM is the peak RSS of that leg alone.
+func runLoadChild() {
+	mode := os.Getenv("LOADBENCH_MODE")
+	companies, err := strconv.Atoi(os.Getenv("LOADBENCH_COMPANIES"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load child:", err)
+		os.Exit(1)
+	}
+	workers, _ := strconv.Atoi(os.Getenv("LOADBENCH_WORKERS"))
+	cfg := loadBenchConfig(companies)
+
+	var res loadChildResult
+	start := time.Now()
+	switch mode {
+	case "stream":
+		ld := pg.NewBulkLoader(workers)
+		if _, err := StreamTopology(cfg, StreamOptions{}, ld); err != nil {
+			fmt.Fprintln(os.Stderr, "load child:", err)
+			os.Exit(1)
+		}
+		frozen, err := ld.Finish()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load child:", err)
+			os.Exit(1)
+		}
+		res.Edges, res.Nodes = frozen.NumEdges(), frozen.NumNodes()
+	case "materialize":
+		frozen := GenerateTopology(cfg).Shareholding().Freeze()
+		res.Edges, res.Nodes = frozen.NumEdges(), frozen.NumNodes()
+	default:
+		fmt.Fprintf(os.Stderr, "load child: unknown mode %q\n", mode)
+		os.Exit(1)
+	}
+	res.WallNs = time.Since(start).Nanoseconds()
+	res.VmHWMBytes, err = readVmHWM()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load child:", err)
+		os.Exit(1)
+	}
+	if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, "load child:", err)
+		os.Exit(1)
+	}
+}
+
+// readVmHWM returns the process peak resident set in bytes from
+// /proc/self/status (Linux-only, like the rest of the scale harness).
+func readVmHWM() (int64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		return kb * 1024, nil
+	}
+	return 0, errors.New("VmHWM not found in /proc/self/status")
+}
+
+// benchLoadChild runs one leg in a fresh child process per iteration and
+// reports edges/sec and peak-RSS-bytes.
+func benchLoadChild(b *testing.B, mode string, companies, workers int) {
+	if testutil.RaceEnabled {
+		b.Skip("load legs do not fit under the race detector's memory multiplier")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last loadChildResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			loadChildEnv+"=1",
+			"LOADBENCH_MODE="+mode,
+			"LOADBENCH_COMPANIES="+strconv.Itoa(companies),
+			"LOADBENCH_WORKERS="+strconv.Itoa(workers),
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			b.Fatalf("load child: %v", err)
+		}
+		if err := json.Unmarshal(out, &last); err != nil {
+			b.Fatalf("load child output %q: %v", out, err)
+		}
+	}
+	b.StopTimer()
+	wall := time.Duration(last.WallNs)
+	b.ReportMetric(float64(last.Edges)/wall.Seconds(), "edges/sec")
+	b.ReportMetric(float64(last.VmHWMBytes), "peak-RSS-bytes")
+	b.Logf("%s %d companies: %d nodes, %d edges in %v (peak RSS %.1f MB)",
+		mode, companies, last.Nodes, last.Edges, wall.Round(time.Millisecond),
+		float64(last.VmHWMBytes)/(1<<20))
+}
+
+func requireFull(b *testing.B) {
+	if os.Getenv("LOADBENCH_FULL") == "" {
+		b.Skip("large legs run under make bench-load (set LOADBENCH_FULL=1)")
+	}
+}
+
+func BenchmarkLoadStream1M(b *testing.B) { benchLoadChild(b, "stream", companies1M, 0) }
+
+func BenchmarkLoadStream10M(b *testing.B) {
+	requireFull(b)
+	benchLoadChild(b, "stream", companies10M, 0)
+}
+
+func BenchmarkLoadStream100M(b *testing.B) {
+	requireFull(b)
+	benchLoadChild(b, "stream", companies100M, 0)
+}
+
+func BenchmarkLoadMaterialize1M(b *testing.B) { benchLoadChild(b, "materialize", companies1M, 0) }
+
+func BenchmarkLoadMaterialize10M(b *testing.B) {
+	requireFull(b)
+	benchLoadChild(b, "materialize", companies10M, 0)
+}
+
+// The backend-floor pair: a per-batch ModeDelay at pg/bulkload stands in for
+// the symbol-fill work of a slow backing store, so the worker-count speedup
+// is observable even on hosts with few cores (the same construction as the
+// E23 WAL backend floor). TestBulkLoadDelayFaultHarmless proves delay plans
+// do not alter the loaded bytes.
+func benchLoadBackend(b *testing.B, workers int) {
+	if testutil.RaceEnabled {
+		b.Skip("backend floor timing is meaningless under the race detector")
+	}
+	fault.Reset()
+	if err := fault.Arm("pg/bulkload", fault.Plan{
+		Mode: fault.ModeDelay, Times: -1, Delay: 10 * time.Millisecond,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	defer fault.Reset()
+	cfg := loadBenchConfig(100_000)
+	edges := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ld := pg.NewBulkLoader(workers)
+		stats, err := StreamTopology(cfg, StreamOptions{BatchSize: 2048}, ld)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ld.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		edges += stats.Edges
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/sec")
+}
+
+func BenchmarkLoadBackendW1(b *testing.B) { benchLoadBackend(b, 1) }
+func BenchmarkLoadBackendW8(b *testing.B) { benchLoadBackend(b, 8) }
+
+// TestBenchLoadGates enforces the E25 acceptance criteria over the
+// BENCH_load.json that make bench-load just produced (names already
+// normalized by benchjson -strip-procs):
+//
+//   - W=8 sharded interning must clear 3x the edges/sec of W=1 against the
+//     delayed backend floor;
+//   - the streaming pipeline's peak RSS at 10M edges must be at most 25% of
+//     the materializing generator's.
+//
+// Run by make bench-load (RUN_LOAD_GATE=1); skipped otherwise.
+func TestBenchLoadGates(t *testing.T) {
+	if os.Getenv("RUN_LOAD_GATE") == "" {
+		t.Skip("load gates run under make bench-load (set RUN_LOAD_GATE=1)")
+	}
+	data, err := os.ReadFile("../../BENCH_load.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Name  string             `json:"name"`
+		Extra map[string]float64 `json:"extra"`
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	metric := func(bench, unit string) float64 {
+		for _, r := range results {
+			if r.Name == bench {
+				v, ok := r.Extra[unit]
+				if !ok {
+					t.Fatalf("%s has no %q metric in BENCH_load.json", bench, unit)
+				}
+				return v
+			}
+		}
+		t.Fatalf("%s missing from BENCH_load.json", bench)
+		return 0
+	}
+
+	w1 := metric("BenchmarkLoadBackendW1", "edges/sec")
+	w8 := metric("BenchmarkLoadBackendW8", "edges/sec")
+	if ratio := w8 / w1; ratio < 3.0 {
+		t.Errorf("W8/W1 ingest speedup %.2fx below the 3x floor (W1 %.0f, W8 %.0f edges/sec)", ratio, w1, w8)
+	} else {
+		t.Logf("W8/W1 ingest speedup %.2fx (W1 %.0f, W8 %.0f edges/sec)", ratio, w1, w8)
+	}
+
+	streamRSS := metric("BenchmarkLoadStream10M", "peak-RSS-bytes")
+	matRSS := metric("BenchmarkLoadMaterialize10M", "peak-RSS-bytes")
+	if frac := streamRSS / matRSS; frac > 0.25 {
+		t.Errorf("stream peak RSS at 10M edges is %.1f%% of materialize (%.1f MB vs %.1f MB); ceiling is 25%%",
+			frac*100, streamRSS/(1<<20), matRSS/(1<<20))
+	} else {
+		t.Logf("stream peak RSS at 10M edges: %.1f MB = %.1f%% of materialize's %.1f MB",
+			streamRSS/(1<<20), streamRSS/matRSS*100, matRSS/(1<<20))
+	}
+}

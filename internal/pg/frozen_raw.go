@@ -197,12 +197,15 @@ func FrozenFromColumns(c Columns) (*Frozen, error) {
 		}
 	}
 
-	// Endpoints must resolve to node rows.
+	// Endpoints must resolve to node rows. Bulk-loaded graphs have dense
+	// consecutive node OIDs, so the finder's O(1) fast path applies; at
+	// 100M-edge scale this check would otherwise dominate open latency.
+	rf := newRowFinder(c.NodeOIDs)
 	for i := 0; i < m; i++ {
-		if _, ok := rowOf(c.NodeOIDs, c.EdgeFrom[i]); !ok {
+		if _, ok := rf.row(c.EdgeFrom[i]); !ok {
 			return nil, fmt.Errorf("pg: edge row %d source %d is not a node", i, c.EdgeFrom[i])
 		}
-		if _, ok := rowOf(c.NodeOIDs, c.EdgeTo[i]); !ok {
+		if _, ok := rf.row(c.EdgeTo[i]); !ok {
 			return nil, fmt.Errorf("pg: edge row %d target %d is not a node", i, c.EdgeTo[i])
 		}
 	}
@@ -314,6 +317,35 @@ func (f *Frozen) materializeFacade() {
 	f.buildLabelIndexes()
 	f.nodeLabelNames = collectLabelNames(f.syms, f.nodeLabels)
 	f.edgeLabelNames = collectLabelNames(f.syms, f.edgeLabel)
+}
+
+// rowFinder resolves OIDs against an ascending OID column, with an O(1)
+// arithmetic fast path when the column is dense (consecutive OIDs — true
+// for every bulk-loaded or generator-built graph, where OIDs are assigned
+// sequentially with no deletions). The column must already be strictly
+// ascending; callers validate that first.
+type rowFinder struct {
+	oids  []OID
+	dense bool
+	base  OID
+}
+
+func newRowFinder(oids []OID) rowFinder {
+	rf := rowFinder{oids: oids}
+	if n := len(oids); n > 0 && oids[n-1]-oids[0] == OID(n-1) {
+		rf.dense, rf.base = true, oids[0]
+	}
+	return rf
+}
+
+func (rf rowFinder) row(id OID) (int32, bool) {
+	if rf.dense {
+		if id < rf.base || id >= rf.base+OID(len(rf.oids)) {
+			return 0, false
+		}
+		return int32(id - rf.base), true
+	}
+	return rowOf(rf.oids, id)
 }
 
 // checkOffsets validates one CSR offset column: rows+1 entries, starting at

@@ -1,0 +1,9 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Large-scale smoke tests consult it: the detector's ~10× memory multiplier
+// turns a bounded 10M-edge load into an OOM, so those legs skip under -race
+// and run their concurrency coverage at reduced scale instead.
+const RaceEnabled = false

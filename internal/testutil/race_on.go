@@ -1,0 +1,6 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+const RaceEnabled = true
